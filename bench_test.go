@@ -1,0 +1,145 @@
+package dtnflow
+
+// Benchmarks: one per paper table and figure, running the corresponding
+// experiment at Tiny scale so the full suite completes in minutes while
+// preserving the qualitative structure (communities, routes, warmup
+// units). Regenerate the paper-scale artifacts with
+//
+//	go run repro/cmd/experiments -run all -out results/
+//
+// Success rates and delays are attached as custom benchmark metrics where
+// the experiment has a single headline number.
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func benchOpts() experiment.Options {
+	return experiment.Options{Scale: experiment.Tiny, Seeds: 1}
+}
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiment.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := e.Run(opt); len(rep.Sections) == 0 {
+			b.Fatalf("%s produced no sections", id)
+		}
+	}
+}
+
+// Trace analysis (Table I, Figs. 2-4, 6, 8).
+
+func BenchmarkTable1Traces(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkFig2Visiting(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig3Bandwidth(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkFig4BandwidthTime(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFig6Prediction(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig8Coverage(b *testing.B)      { benchExperiment(b, "fig8") }
+
+// Main comparison (Figs. 11-14).
+
+func BenchmarkFig11MemoryDART(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12MemoryDNET(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13RateDART(b *testing.B)   { benchExperiment(b, "fig13") }
+func BenchmarkFig14RateDNET(b *testing.B)   { benchExperiment(b, "fig14") }
+
+// Extensions (Tables VI-IX).
+
+func BenchmarkTable6DeadEnd(b *testing.B)     { benchExperiment(b, "table6") }
+func BenchmarkTable7Loops(b *testing.B)       { benchExperiment(b, "table7") }
+func BenchmarkTable8LoadBalance(b *testing.B) { benchExperiment(b, "table8") }
+func BenchmarkTable9LoadBalance(b *testing.B) { benchExperiment(b, "table9") }
+
+// Real deployment (Fig. 16, Table X).
+
+func BenchmarkFig16Campus(b *testing.B)         { benchExperiment(b, "fig16") }
+func BenchmarkTable10CampusTables(b *testing.B) { benchExperiment(b, "table10") }
+
+// Ablations.
+
+func BenchmarkAblationOrder(b *testing.B)     { benchExperiment(b, "ablation-order") }
+func BenchmarkAblationPo(b *testing.B)        { benchExperiment(b, "ablation-po") }
+func BenchmarkAblationDirect(b *testing.B)    { benchExperiment(b, "ablation-direct") }
+func BenchmarkAblationHold(b *testing.B)      { benchExperiment(b, "ablation-hold") }
+func BenchmarkAblationEWMA(b *testing.B)      { benchExperiment(b, "ablation-ewma") }
+func BenchmarkAblationLandmarks(b *testing.B) { benchExperiment(b, "ablation-landmarks") }
+
+// Micro-benchmarks of the hot building blocks.
+
+// BenchmarkSimulateDTNFLOW measures one full Tiny-DART simulation of the
+// core router, reporting the achieved success rate.
+func BenchmarkSimulateDTNFLOW(b *testing.B) {
+	sc := experiment.DARTScenario(experiment.Tiny)
+	var success float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRouter("DTN-FLOW")
+		res := sim.New(sc.Trace, r, sc.Workload(sc.RateDef), sc.Config(1)).Run()
+		success = res.Summary.SuccessRate
+	}
+	b.ReportMetric(success, "success")
+}
+
+// BenchmarkSimulateBaselines measures the five baselines on Tiny-DART.
+func BenchmarkSimulateBaselines(b *testing.B) {
+	sc := experiment.DARTScenario(experiment.Tiny)
+	for _, m := range experiment.MethodNames[1:] {
+		m := m
+		b.Run(m, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiment.NewRouter(m)
+				sim.New(sc.Trace, r, sc.Workload(sc.RateDef), sc.Config(1)).Run()
+			}
+		})
+	}
+}
+
+// BenchmarkTraceGeneration measures the synthetic generators at full paper
+// scale.
+func BenchmarkTraceGeneration(b *testing.B) {
+	b.Run("DART", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			synth.DART(synth.DefaultDART())
+		}
+	})
+	b.Run("DNET", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			synth.DNET(synth.DefaultDNET())
+		}
+	})
+}
+
+// BenchmarkTransitExtraction measures transit derivation on the full DART
+// trace.
+func BenchmarkTransitExtraction(b *testing.B) {
+	tr := synth.DART(synth.DefaultDART())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(tr.Transits()) == 0 {
+			b.Fatal("no transits")
+		}
+	}
+}
+
+// BenchmarkBandwidths measures the Fig. 3 statistic on the full DART trace.
+func BenchmarkBandwidths(b *testing.B) {
+	tr := synth.DART(synth.DefaultDART())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(trace.Bandwidths(tr, 3*trace.Day)) == 0 {
+			b.Fatal("no links")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Landmarking demonstrates the deployment pipeline of Section IV-A: start
+// from a raw association log over many places (most of them unpopular),
+// clean it the way the paper cleans DART/DNET, select landmarks from the
+// popular places with a minimum separation distance, and route over the
+// resulting landmark set.
+//
+//	go run repro/examples/landmarking
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// A raw log: the DART-like generator over many places, before any
+	// cleaning — plus noise in the form of very short associations that a
+	// real AP log would contain.
+	raw := dtnflow.DARTTrace()
+	fmt.Printf("raw log:        %s\n", raw.Summarize())
+
+	// 1. Preprocessing (Section III-B.1): merge neighbouring records of
+	// the same node and place, drop associations under 200 s, drop nodes
+	// with too few records to learn anything from.
+	clean := dtnflow.Preprocess(raw, dtnflow.PreprocessOptions{
+		MergeGap:   10 * dtnflow.Minute,
+		MinVisit:   200 * dtnflow.Second,
+		MinRecords: 100,
+	})
+	fmt.Printf("preprocessed:   %s\n", clean.Summarize())
+
+	// 2. Landmark selection (Section IV-A.1): the top-80 most visited
+	// places are candidates; candidates within 120 m of a more popular
+	// landmark are absorbed by it.
+	routed, chosen := dtnflow.SelectLandmarks(clean, 80, 120)
+	fmt.Printf("landmarked:     %s (%d landmarks chosen)\n\n", routed.Summarize(), chosen)
+
+	// 3. Route over the selected landmarks.
+	s := dtnflow.Simulate(routed, dtnflow.NewDTNFLOW(), dtnflow.SimOptions{
+		RatePerDay: 500,
+		NodeMemory: 64 * 1024,
+	})
+	fmt.Printf("DTN-FLOW on the landmarked trace: success %.2f, delay %.1fd\n",
+		s.SuccessRate, s.AvgDelay/86400)
+	fmt.Println("\nFewer, more popular landmarks concentrate transits on")
+	fmt.Println("predictable links — the IV-A.3 trade-off in action.")
+}

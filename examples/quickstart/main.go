@@ -1,0 +1,35 @@
+// Quickstart: generate a small synthetic DTN trace, route packets with
+// DTN-FLOW and with PROPHET, and compare the paper's four metrics.
+//
+//	go run repro/examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	tr := dtnflow.SmallTrace()
+	fmt.Printf("trace: %s\n\n", tr.Summarize())
+
+	opts := dtnflow.SimOptions{
+		RatePerDay: 200,
+		TTL:        2 * dtnflow.Day,
+		Unit:       12 * dtnflow.Hour,
+	}
+	for _, mk := range []struct {
+		name   string
+		router dtnflow.Router
+	}{
+		{"DTN-FLOW", dtnflow.NewDTNFLOW()},
+		{"PROPHET", dtnflow.NewPROPHET()},
+	} {
+		s := dtnflow.Simulate(tr, mk.router, opts)
+		fmt.Printf("%-9s success=%.2f  avg delay=%.1fh  forwarding=%d  total cost=%d\n",
+			mk.name, s.SuccessRate, s.AvgDelay/3600, s.Forwarding, s.TotalCost)
+	}
+	fmt.Println("\nDTN-FLOW routes along landmark paths; PROPHET relays between")
+	fmt.Println("co-located nodes toward higher visiting probability.")
+}

@@ -1,0 +1,56 @@
+package baselines
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// GeoComm adapts geocommunity broadcasting (Fan et al.): each landmark is a
+// geocommunity and a node's suitability is its contact probability per unit
+// time with the destination landmark — the fraction of elapsed time the
+// node has spent in contact with it. As the paper notes, a bus spends
+// roughly equal time at each stop on its route, so this score separates
+// destinations poorly on DNET (Section V-A.2).
+type GeoComm struct {
+	contact [][]trace.Time // node -> landmark -> accumulated contact time
+	started []trace.Time   // node -> first observation time
+	seen    []bool
+}
+
+// NewGeoComm returns a GeoComm instance.
+func NewGeoComm() *GeoComm { return &GeoComm{} }
+
+// Name implements Method.
+func (m *GeoComm) Name() string { return "GeoComm" }
+
+// Init implements Method.
+func (m *GeoComm) Init(ctx *sim.Context) {
+	m.contact = make([][]trace.Time, len(ctx.Nodes))
+	for i := range m.contact {
+		m.contact[i] = make([]trace.Time, ctx.NumLandmarks())
+	}
+	m.started = make([]trace.Time, len(ctx.Nodes))
+	m.seen = make([]bool, len(ctx.Nodes))
+}
+
+// OnVisit implements Method: credit the full expected visit duration (the
+// contact lasts until VisitEnd).
+func (m *GeoComm) OnVisit(ctx *sim.Context, n *sim.Node, lm int) {
+	if !m.seen[n.ID] {
+		m.seen[n.ID] = true
+		m.started[n.ID] = ctx.Now()
+	}
+	m.contact[n.ID][lm] += n.VisitEnd - n.VisitStart
+}
+
+// Score implements Method.
+func (m *GeoComm) Score(ctx *sim.Context, node, dst int, remaining trace.Time) float64 {
+	if !m.seen[node] {
+		return 0
+	}
+	elapsed := ctx.Now() - m.started[node]
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.contact[node][dst]) / float64(elapsed)
+}

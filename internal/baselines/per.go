@@ -1,0 +1,165 @@
+package baselines
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// PER adapts Yuan, Cardei & Wu's predict-and-relay routing: a node's past
+// transits and sojourns form a time-homogeneous semi-Markov model, from
+// which PER estimates the probability that the node visits the destination
+// landmark before a deadline (here: the packet's TTL horizon). The score
+// changes every time the node moves, so packets are re-forwarded
+// frequently — PER's forwarding cost is the highest of the six methods
+// (Section V-A.2).
+type PER struct {
+	MaxSteps int // cap on the hitting-probability recursion depth
+
+	trans    [][]map[int]int // node -> landmark -> next-landmark counts
+	stepSum  []trace.Time    // node -> accumulated sojourn+travel time
+	stepCnt  []int
+	last     []int
+	lastTime []trace.Time
+
+	// cache: hitting probabilities for (node, current landmark), one
+	// vector per destination; invalidated on every move.
+	cacheLm   []int
+	cacheProb [][]float64
+	cacheStep []int
+
+	// scratch buffers for hitting.
+	occ, nxt           []float64
+	active, nextActive []int
+}
+
+// NewPER returns a PER instance.
+func NewPER() *PER { return &PER{MaxSteps: 16} }
+
+// Name implements Method.
+func (m *PER) Name() string { return "PER" }
+
+// Init implements Method.
+func (m *PER) Init(ctx *sim.Context) {
+	nN := len(ctx.Nodes)
+	m.trans = make([][]map[int]int, nN)
+	for i := range m.trans {
+		m.trans[i] = make([]map[int]int, ctx.NumLandmarks())
+	}
+	m.stepSum = make([]trace.Time, nN)
+	m.stepCnt = make([]int, nN)
+	m.last = make([]int, nN)
+	m.lastTime = make([]trace.Time, nN)
+	m.cacheLm = make([]int, nN)
+	m.cacheProb = make([][]float64, nN)
+	m.cacheStep = make([]int, nN)
+	for i := range m.last {
+		m.last[i] = -1
+		m.cacheLm[i] = -1
+	}
+}
+
+// OnVisit implements Method.
+func (m *PER) OnVisit(ctx *sim.Context, n *sim.Node, lm int) {
+	id := n.ID
+	if prev := m.last[id]; prev >= 0 && prev != lm {
+		if m.trans[id][prev] == nil {
+			m.trans[id][prev] = map[int]int{}
+		}
+		m.trans[id][prev][lm]++
+		m.stepSum[id] += ctx.Now() - m.lastTime[id]
+		m.stepCnt[id]++
+	}
+	m.last[id] = lm
+	m.lastTime[id] = ctx.Now()
+	m.cacheLm[id] = -1 // moving invalidates the prediction
+}
+
+// meanStep returns the node's mean per-transit time.
+func (m *PER) meanStep(node int) trace.Time {
+	if m.stepCnt[node] == 0 {
+		return trace.Day
+	}
+	return m.stepSum[node] / trace.Time(m.stepCnt[node])
+}
+
+// hitting computes, for every destination, the probability that the node's
+// Markov walk from its current landmark reaches it within steps moves.
+// It runs one pass per step over the occupancy distribution and
+// accumulates first-visit mass (slightly overestimating on revisits, which
+// is acceptable for ranking). Dense scratch buffers keep the hot path
+// allocation-light.
+func (m *PER) hitting(ctx *sim.Context, node, steps int) []float64 {
+	nLm := ctx.NumLandmarks()
+	if len(m.occ) != nLm {
+		m.occ = make([]float64, nLm)
+		m.nxt = make([]float64, nLm)
+	}
+	occ, nxt := m.occ, m.nxt
+	active := m.active[:0]
+	occ[m.last[node]] = 1
+	active = append(active, m.last[node])
+	visited := make([]float64, nLm)
+	for k := 0; k < steps && len(active) > 0; k++ {
+		nextActive := m.nextActive[:0]
+		for _, at := range active {
+			mass := occ[at]
+			occ[at] = 0
+			tm := m.trans[node][at]
+			total := 0
+			for _, c := range tm {
+				total += c
+			}
+			if total == 0 {
+				continue
+			}
+			for to, c := range tm {
+				if nxt[to] == 0 {
+					nextActive = append(nextActive, to)
+				}
+				nxt[to] += mass * float64(c) / float64(total)
+			}
+		}
+		for _, to := range nextActive {
+			// Approximate first-visit accumulation.
+			visited[to] += nxt[to] * (1 - visited[to])
+		}
+		occ, nxt = nxt, occ
+		active, nextActive = nextActive, active
+		m.active, m.nextActive = active, nextActive
+	}
+	for _, at := range active {
+		occ[at] = 0
+	}
+	m.occ, m.nxt = occ, nxt
+	return visited
+}
+
+// Score implements Method: the probability of visiting dst before the
+// remaining-TTL deadline, with the step budget derived from the node's
+// mean per-transit time (the semi-Markov sojourn model).
+func (m *PER) Score(ctx *sim.Context, node, dst int, remaining trace.Time) float64 {
+	if m.last[node] < 0 {
+		return 0
+	}
+	steps := int(remaining / m.meanStep(node))
+	if steps < 1 {
+		steps = 1
+	}
+	if steps > m.MaxSteps {
+		steps = m.MaxSteps
+	}
+	// Quantise to power-of-two buckets so the per-(node, landmark) cache
+	// is effective across packets with similar deadlines.
+	for _, b := range [...]int{1, 2, 4, 8, 16} {
+		if steps <= b {
+			steps = b
+			break
+		}
+	}
+	if m.cacheLm[node] != m.last[node] || m.cacheStep[node] != steps {
+		m.cacheProb[node] = m.hitting(ctx, node, steps)
+		m.cacheLm[node] = m.last[node]
+		m.cacheStep[node] = steps
+	}
+	return m.cacheProb[node][dst]
+}

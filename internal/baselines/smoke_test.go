@@ -1,0 +1,34 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestSmokeAllBaselines runs each baseline on a small trace and checks
+// packets flow.
+func TestSmokeAllBaselines(t *testing.T) {
+	tr := synth.Small(synth.DefaultSmall())
+	cfg := sim.DefaultConfig(tr.Duration())
+	cfg.TTL = 2 * trace.Day
+	cfg.Unit = 12 * trace.Hour
+	for _, m := range []Method{NewPROPHET(), NewSimBet(), NewPGR(), NewGeoComm(), NewPER()} {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			w := sim.NewWorkload(200, cfg.PacketSize, cfg.TTL)
+			res := sim.New(tr, NewBase(m), w, cfg).Run()
+			t.Logf("%-8s success=%.2f avgDelay=%.1fh fwd=%d total=%d",
+				m.Name(), res.Summary.SuccessRate, res.Summary.AvgDelay/3600,
+				res.Summary.Forwarding, res.Summary.TotalCost)
+			if res.Summary.Generated == 0 {
+				t.Fatal("no packets generated")
+			}
+			if res.Summary.SuccessRate < 0.1 {
+				t.Fatalf("success rate %.2f suspiciously low", res.Summary.SuccessRate)
+			}
+		})
+	}
+}

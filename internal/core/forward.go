@@ -1,0 +1,311 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// This file implements the packet forwarding algorithm of Section IV-D:
+// upload eligibility (steps 1 and 5, plus the prediction-inaccuracy rule of
+// IV-D.1), the landmark's forwarding decision (steps 2–4: direct delivery,
+// routing-table lookup, carrier selection by overall transit probability),
+// and the uplink/downlink communication scheduling of IV-D.5.
+
+// uploadEligible decides whether node state ns should hand packet p to the
+// station of landmark lm (step 5): the packet targets lm, lm is the
+// packet's assigned next hop, or lm reduces the expected delay to the
+// destination below the value recorded in the packet. A declared dead end
+// makes everything eligible (Section IV-E.1), and disabling HoldOnWorse
+// uploads unconditionally.
+func (r *Router) uploadEligible(ns *nodeState, p *sim.Packet, lm int) bool {
+	if p.Dst == lm || p.NextHop == lm || ns.deadEnded || !r.cfg.HoldOnWorse {
+		return true
+	}
+	// Require a meaningful reduction (10%) so marginal estimate noise does
+	// not bounce the packet between stations and carriers.
+	return r.landmarks[lm].table.Delay(p.Dst) < 0.9*p.ExpDelay
+}
+
+// stationReceive runs when a packet lands in a station's buffer: it stamps
+// the landmark path, triggers loop detection (Section IV-E.2) and records
+// the packet against its assigned outgoing link for load balancing.
+func (r *Router) stationReceive(ctx *sim.Context, lm int, p *sim.Packet) {
+	p.Path = append(p.Path, lm)
+	if r.cfg.LoopFix {
+		if members, ok := routing.DetectLoop(p.Path); ok {
+			r.startCorrection(ctx, lm, p.Dst, members)
+		}
+	}
+	r.recordAssignment(r.landmarks[lm], p)
+}
+
+// recordAssignment counts the packet toward the incoming rate of the link
+// its current route would use (Section IV-E.3).
+func (r *Router) recordAssignment(ls *landmarkState, p *sim.Packet) {
+	if e, ok := ls.table.Lookup(p.Dst); ok {
+		ls.lbAssigned[e.Next]++
+	}
+}
+
+// overloaded reports whether landmark state ls considers its outgoing link
+// to next overloaded: the incoming rate exceeds Theta times the outgoing
+// rate and there is material traffic (Section IV-E.3).
+func (r *Router) overloaded(ls *landmarkState, next int) bool {
+	in := ls.lbInRate[next] + ls.lbAssigned[next]
+	out := ls.lbOutRate[next] + ls.lbSent[next]
+	return in > 4 && in > r.cfg.Theta*out
+}
+
+// route decides the forwarding target for packet p held at landmark lm:
+// the destination itself when direct delivery applies, otherwise the
+// routing-table next hop (or its backup when the primary link is
+// overloaded). It returns target -1 when the packet cannot be routed yet.
+func (r *Router) route(ctx *sim.Context, lm int, p *sim.Packet, present []*sim.Node) (target int, exp float64) {
+	ls := r.landmarks[lm]
+	if r.cfg.DirectDelivery && p.Dst != lm {
+		for _, n := range present {
+			if r.nodes[n.ID].predicted == p.Dst {
+				exp = ls.table.Delay(p.Dst)
+				if exp >= routing.Infinite {
+					// No table route yet; a single predicted transit is
+					// expected to take about one time unit.
+					exp = float64(ctx.Cfg.Unit)
+				}
+				return p.Dst, exp
+			}
+		}
+	}
+	e, ok := ls.table.Lookup(p.Dst)
+	if !ok {
+		return -1, routing.Infinite
+	}
+	if r.cfg.LoadBalance && e.Backup >= 0 && r.overloaded(ls, e.Next) && !r.overloaded(ls, e.Backup) {
+		return e.Backup, e.BackupDelay
+	}
+	return e.Next, e.Delay
+}
+
+// pickCarrier returns the connected node predicted to transit to target
+// with the highest overall transit probability p_o = p_t · p_a that can
+// store p, or nil. Only nodes whose predicted next landmark is the target
+// qualify: handing packets to nodes with merely nonzero transit
+// probability strands them on carriers that almost surely go elsewhere,
+// while a waiting station sees every future visitor. Ties break toward the
+// lower node ID for determinism.
+func (r *Router) pickCarrier(present []*sim.Node, target int, p *sim.Packet) (*sim.Node, float64) {
+	var best *sim.Node
+	bestP := 0.0
+	for _, n := range present {
+		if !n.Buffer.Fits(p.Size) {
+			continue
+		}
+		ns := r.nodes[n.ID]
+		if ns.predicted != target || ns.deadEnded {
+			// A node that declared a dead end is stuck; handing packets
+			// back to it would undo the prevention.
+			continue
+		}
+		pt := ns.pred.ProbabilityOf(target)
+		if pt <= 0 {
+			continue
+		}
+		po := pt
+		if r.cfg.UseAccuracy {
+			po *= ns.acc.Value()
+		}
+		if po > bestP {
+			best, bestP = n, po
+		}
+	}
+	return best, bestP
+}
+
+// forwardPass forwards as many station packets as possible from landmark
+// lm to connected carriers, honouring the scheduling priority of IV-D.5:
+// packets whose expected delay fits their remaining TTL go first, ordered
+// by minimal remaining TTL. c is the active contact whose budget applies
+// to transfers involving its node (nil outside a contact). It returns the
+// number of packets handed to carriers.
+func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
+	st := ctx.Stations[lm]
+	if st.Buffer.Len() == 0 {
+		return 0
+	}
+	present := ctx.NodesAt(lm)
+	if len(present) == 0 {
+		return 0
+	}
+	ls := r.landmarks[lm]
+	now := ctx.Now()
+
+	// Only targets some present node is predicted to transit to can
+	// receive packets this pass; filtering before the sort keeps congested
+	// stations (thousands of queued packets) cheap to serve.
+	reachable := map[int]bool{}
+	for _, n := range present {
+		ns := r.nodes[n.ID]
+		if ns.predicted >= 0 && !ns.deadEnded {
+			reachable[ns.predicted] = true
+		}
+	}
+	if len(reachable) == 0 {
+		return 0
+	}
+
+	// Order: feasible first, then by remaining TTL ascending.
+	pkts := append([]*sim.Packet(nil), st.Buffer.Packets()...)
+	type cand struct {
+		p        *sim.Packet
+		target   int
+		exp      float64
+		feasible bool
+	}
+	cands := make([]cand, 0, len(pkts))
+	for _, p := range pkts {
+		if p.Dst == lm {
+			continue // node-destined packet waiting at its rendezvous
+		}
+		target, exp := r.route(ctx, lm, p, present)
+		if target < 0 {
+			r.Debug.NoRoute++
+			continue
+		}
+		if !reachable[target] {
+			r.Debug.NoCarrier++
+			continue
+		}
+		cands = append(cands, cand{p: p, target: target, exp: exp, feasible: exp < float64(p.Remaining(now))})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].feasible != cands[j].feasible {
+			return cands[i].feasible
+		}
+		if cands[i].p.Expiry != cands[j].p.Expiry {
+			return cands[i].p.Expiry < cands[j].p.Expiry
+		}
+		return cands[i].p.ID < cands[j].p.ID
+	})
+	sent := 0
+	for _, cd := range cands {
+		carrier, _ := r.pickCarrier(present, cd.target, cd.p)
+		if carrier == nil {
+			r.Debug.NoCarrier++
+			continue
+		}
+		var cc *sim.Contact
+		if c != nil && carrier == c.Node {
+			cc = c
+		}
+		if !ctx.Download(cc, st, carrier, cd.p) {
+			continue
+		}
+		cd.p.NextHop = cd.target
+		cd.p.ExpDelay = cd.exp
+		ls.lbSent[cd.target]++
+		sent++
+		r.Debug.Forwarded++
+		if cd.target == cd.p.Dst {
+			r.Debug.DirectDeliv++
+		}
+	}
+	return sent
+}
+
+// uploadBatch uploads up to NMax eligible packets from the contact's node,
+// prioritising packets whose expected delay fits their remaining TTL, then
+// minimal remaining TTL (IV-D.5 step 3). It returns the number uploaded.
+func (r *Router) uploadBatch(ctx *sim.Context, c *sim.Contact) int {
+	n := c.Node
+	ns := r.nodes[n.ID]
+	lm := c.Landmark
+	now := ctx.Now()
+	var elig []*sim.Packet
+	for _, p := range n.Buffer.Packets() {
+		if r.uploadEligible(ns, p, lm) {
+			elig = append(elig, p)
+		}
+	}
+	// A packet is "feasible" when its recorded expected delay fits its
+	// remaining TTL; such packets are prioritised (IV-D.5 step 3).
+	feasible := func(p *sim.Packet) bool { return p.ExpDelay < float64(p.Remaining(now)) }
+	sort.SliceStable(elig, func(i, j int) bool {
+		fi, fj := feasible(elig[i]), feasible(elig[j])
+		if fi != fj {
+			return fi
+		}
+		if elig[i].Expiry != elig[j].Expiry {
+			return elig[i].Expiry < elig[j].Expiry
+		}
+		return elig[i].ID < elig[j].ID
+	})
+	max := r.cfg.NMax
+	if max <= 0 {
+		max = len(elig)
+	}
+	up := 0
+	for _, p := range elig {
+		if up >= max {
+			break
+		}
+		if !ctx.Upload(c, n, p) {
+			if c.Budget <= 0 {
+				break
+			}
+			continue
+		}
+		up++
+		if !p.Done() {
+			r.stationReceive(ctx, lm, p)
+		}
+	}
+	return up
+}
+
+// schedule runs the communication scheduling of Section IV-D.5 for one
+// contact: the station alternates between uploading (collecting packets
+// from the arriving node) and forwarding (handing packets to carriers),
+// switching modes on the ratio R of station packets to node packets.
+func (r *Router) schedule(ctx *sim.Context, c *sim.Contact) {
+	lm := c.Landmark
+	st := ctx.Stations[lm]
+	mode := "upload"
+	for c.Budget > 0 {
+		nl := st.Buffer.Len()
+		nn := 0
+		for _, n := range ctx.NodesAt(lm) {
+			nn += n.Buffer.Len()
+		}
+		switch {
+		case nn == 0 && nl == 0:
+			return
+		case nn == 0:
+			mode = "forward"
+		default:
+			ratio := float64(nl) / float64(nn)
+			if ratio >= r.cfg.RUp {
+				mode = "forward"
+			} else if ratio <= r.cfg.RDown {
+				mode = "upload"
+			}
+		}
+		progressed := false
+		if mode == "upload" {
+			progressed = r.uploadBatch(ctx, c) > 0
+			if !progressed {
+				mode = "forward"
+				progressed = r.forwardPass(ctx, lm, c) > 0
+			}
+		} else {
+			progressed = r.forwardPass(ctx, lm, c) > 0
+			if !progressed {
+				mode = "upload"
+				progressed = r.uploadBatch(ctx, c) > 0
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}

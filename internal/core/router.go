@@ -1,0 +1,476 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/predict"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// carriedVector is a routing-table advertisement in transit inside a node,
+// addressed to a specific neighbouring landmark (Section IV-C.2: "a
+// landmark l_i chooses its node with the highest predicted probability of
+// visiting l_j to forward its routing table to l_j").
+type carriedVector struct {
+	owner   int
+	target  int       // landmark the advertisement is addressed to
+	vec     []float64 // dense per-destination delays
+	entries int       // reachable destinations (the transfer's cost in entries)
+	seq     int
+	forced  bool
+	expiry  trace.Time
+}
+
+// correctionNotice tells landmark To to start forced re-advertisement for
+// destination Dest (loop correction, Section IV-E.2).
+type correctionNotice struct {
+	To     int
+	Dest   int
+	Expiry trace.Time
+}
+
+// nodeState is DTN-FLOW's per-node bookkeeping.
+type nodeState struct {
+	pred      *predict.Markov
+	acc       *predict.AccuracyTracker
+	predicted int // predicted next landmark; -1 unknown
+	predFrom  int // landmark where the prediction was made; -1 none
+
+	vectors []carriedVector
+	reports []routing.BandwidthReport
+	notices []correctionNotice
+
+	// stay-time statistics for dead-end detection.
+	staySum   map[int]trace.Time
+	stayCnt   map[int]int
+	totalSum  trace.Time
+	totalCnt  int
+	deadEnded bool // dead end declared during the current visit
+}
+
+// landmarkState is DTN-FLOW's per-landmark bookkeeping.
+type landmarkState struct {
+	table    *routing.Table
+	bw       *routing.BandwidthTable
+	arrivals *routing.ArrivalCounter
+	// version increases when the routing table materially changes (next
+	// hops differ at a time-unit boundary); it tags advertised vectors so
+	// receivers can discard stale copies and gates re-advertisement.
+	version    int
+	lastHops   []int
+	lastDelays []float64
+	// changedAt is when the table last materially changed; the table is
+	// advertised through every departing node for one advertising window
+	// after a change, then goes quiet (the maintenance-cost saving the
+	// paper derives from Fig. 8's stability result).
+	changedAt trace.Time
+	// pending holds the latest bandwidth report per neighbour awaiting
+	// transport back to that neighbour.
+	pending map[int]routing.BandwidthReport
+	// notices holds outstanding loop-correction notices to be spread.
+	notices []correctionNotice
+	// forcedUntil, per destination, keeps forced re-advertisement active.
+	forcedUntil map[int]trace.Time
+	// Load balancing: packets assigned to / sent through each outgoing
+	// link this unit, and their EWMA rates.
+	lbAssigned map[int]float64
+	lbSent     map[int]float64
+	lbInRate   map[int]float64
+	lbOutRate  map[int]float64
+}
+
+// Router is the DTN-FLOW router. Create with New; it implements
+// sim.Router.
+type Router struct {
+	cfg  Config
+	ctx  *sim.Context
+	name string
+
+	nodes     []*nodeState
+	landmarks []*landmarkState
+	unitSeq   int
+
+	// node-routing mode: per node, its most frequented landmarks and the
+	// visit tallies behind them.
+	freq       [][]int
+	freqCounts []map[int]int
+
+	// UnitHook, when set, runs after each time-unit boundary is
+	// processed; experiments use it to snapshot tables (Fig. 8).
+	UnitHook func(seq int)
+
+	// Debug counts forwarding-decision outcomes (diagnostics only).
+	Debug struct {
+		NoRoute, NoCarrier, Forwarded, DirectDeliv int64
+		DeadEndEvents, DeadEndPackets              int64
+		DeadEndRemTTL                              float64
+	}
+}
+
+var _ sim.Router = (*Router)(nil)
+
+// New returns a DTN-FLOW router with the given configuration.
+func New(cfg Config) *Router {
+	if cfg.Order < 1 {
+		cfg.Order = 1
+	}
+	name := "DTN-FLOW"
+	return &Router{cfg: cfg, name: name}
+}
+
+// Name implements sim.Router.
+func (r *Router) Name() string { return r.name }
+
+// SetName overrides the reported name (used by ablation variants).
+func (r *Router) SetName(s string) { r.name = s }
+
+// Init implements sim.Router.
+func (r *Router) Init(ctx *sim.Context) {
+	r.ctx = ctx
+	nL := ctx.NumLandmarks()
+	r.nodes = make([]*nodeState, len(ctx.Nodes))
+	for i := range r.nodes {
+		acc := predict.NewAccuracyTracker()
+		acc.Alpha, acc.Beta = r.cfg.AccAlpha, r.cfg.AccBeta
+		if acc.Alpha <= 0 {
+			acc.Alpha = 1.1
+		}
+		if acc.Beta <= 0 {
+			acc.Beta = 0.8
+		}
+		r.nodes[i] = &nodeState{
+			pred:      predict.NewMarkov(r.cfg.Order),
+			acc:       acc,
+			predicted: -1,
+			predFrom:  -1,
+			staySum:   map[int]trace.Time{},
+			stayCnt:   map[int]int{},
+		}
+	}
+	r.landmarks = make([]*landmarkState, nL)
+	for i := range r.landmarks {
+		r.landmarks[i] = &landmarkState{
+			table:       routing.NewTable(i, nL),
+			bw:          routing.NewBandwidthTable(r.cfg.Rho),
+			arrivals:    routing.NewArrivalCounter(),
+			pending:     map[int]routing.BandwidthReport{},
+			version:     1,
+			forcedUntil: map[int]trace.Time{},
+			lbAssigned:  map[int]float64{},
+			lbSent:      map[int]float64{},
+			lbInRate:    map[int]float64{},
+			lbOutRate:   map[int]float64{},
+		}
+	}
+	r.freq = make([][]int, len(ctx.Nodes))
+}
+
+// Table returns landmark lm's routing table (inspection).
+func (r *Router) Table(lm int) *routing.Table { return r.landmarks[lm].table }
+
+// Bandwidth returns landmark lm's bandwidth estimate for its outgoing link
+// to nbr (inspection).
+func (r *Router) Bandwidth(lm, nbr int) float64 { return r.landmarks[lm].bw.Bandwidth(nbr) }
+
+// Accuracy returns node n's current prediction-accuracy estimate p_a.
+func (r *Router) Accuracy(n int) float64 { return r.nodes[n].acc.Value() }
+
+// OnGenerate implements sim.Router: a new packet appeared at its source
+// landmark's station; try to forward immediately.
+func (r *Router) OnGenerate(ctx *sim.Context, p *sim.Packet) {
+	if r.cfg.NodeRouting && p.DstNode >= 0 {
+		r.assignNodeDest(p)
+	}
+	ls := r.landmarks[p.Src]
+	r.recordAssignment(ls, p)
+	r.forwardPass(ctx, p.Src, nil)
+}
+
+// OnContact implements sim.Router.
+func (r *Router) OnContact(ctx *sim.Context, c *sim.Contact) {
+	n := c.Node
+	ns := r.nodes[n.ID]
+	lm := c.Landmark
+	ls := r.landmarks[lm]
+
+	// 1. Bandwidth measurement: the node reports its previous landmark.
+	if n.Prev >= 0 && n.Prev != lm {
+		ls.arrivals.Record(n.Prev)
+	}
+
+	// 2. Prediction-accuracy bookkeeping.
+	if ns.predicted >= 0 && ns.predFrom >= 0 && ns.predFrom != lm {
+		ns.acc.Record(ns.predicted == lm)
+	}
+
+	// 3. Deliver carried control state.
+	r.deliverControl(ctx, ns, lm)
+
+	// 4. The node observes its visit and predicts its next transit,
+	// informing the landmark (step 5 of the routing algorithm).
+	ns.pred.Observe(lm)
+	if next, _, ok := ns.pred.Predict(); ok && next != lm {
+		ns.predicted, ns.predFrom = next, lm
+	} else {
+		ns.predicted, ns.predFrom = -1, lm
+	}
+	ns.deadEnded = false
+
+	// 5. Node-routing mode: deliver packets waiting for this node and
+	// refresh its frequented-landmark report.
+	if r.cfg.NodeRouting {
+		r.nodeRoutingOnContact(ctx, n, lm)
+	}
+
+	// 6. Scheduled communication: uploads and forwarding.
+	r.schedule(ctx, c)
+
+	// 7. Dead-end prevention: arm the stay-time timer (Section IV-E.1).
+	if r.cfg.DeadEnd {
+		r.armDeadEnd(ctx, c)
+	}
+}
+
+// OnDepart implements sim.Router: record stay statistics and hand the
+// departing node the landmark's outgoing control state.
+func (r *Router) OnDepart(ctx *sim.Context, n *sim.Node, lm int) {
+	ns := r.nodes[n.ID]
+	ls := r.landmarks[lm]
+	stay := n.VisitEnd - n.VisitStart
+	ns.staySum[lm] += stay
+	ns.stayCnt[lm]++
+	ns.totalSum += stay
+	ns.totalCnt++
+
+	// Routing-table advertisement travels in mobile nodes (Section
+	// IV-C.2). While the table is changing (it materially changed within
+	// the last advertising window) it rides with every departing node and
+	// is merged at whatever landmark the node reaches next; once the
+	// routes stabilise, advertising stops — the maintenance-cost saving
+	// the paper derives from Fig. 8's stability result. Loop correction
+	// forces advertising regardless.
+	forced := false
+	now := ctx.Now()
+	for d, until := range ls.forcedUntil {
+		if now < until {
+			forced = true
+		} else {
+			delete(ls.forcedUntil, d)
+		}
+	}
+	if forced || now < ls.changedAt+ctx.Cfg.Unit {
+		ns.vectors = append(ns.vectors, carriedVector{
+			owner:   lm,
+			target:  -1, // deliver at the next landmark reached
+			vec:     append([]float64(nil), ls.table.ToVector()...),
+			entries: ls.table.Len(),
+			seq:     ls.version,
+			forced:  forced,
+			expiry:  now + 2*ctx.Cfg.Unit,
+		})
+		if len(ns.vectors) > 4 {
+			ns.vectors = ns.vectors[len(ns.vectors)-4:]
+		}
+	}
+
+	// Bandwidth reports travel inside departing nodes back to the
+	// landmarks they concern (Section IV-C.1). The paper hands a report
+	// only to nodes predicted to transit to its addressee; nodes whose
+	// transits are unpredictable would then never deliver reports to
+	// unpopular landmarks, so every departing node carries the full
+	// pending set (reports are single entries) and delivers whichever
+	// matches the landmark it actually reaches.
+	ns.reports = ns.reports[:0]
+	for _, from := range ls.incomingNeighbors() {
+		ns.reports = append(ns.reports, ls.pending[from])
+	}
+
+	// Loop-correction notices spread through every departing node.
+	ns.notices = ns.notices[:0]
+	for _, nt := range ls.notices {
+		if now < nt.Expiry {
+			ns.notices = append(ns.notices, nt)
+		}
+	}
+}
+
+// OnTimeUnit implements sim.Router: roll bandwidth measurement, refresh
+// link delays, fold load-balancing rates.
+func (r *Router) OnTimeUnit(ctx *sim.Context, seq int) {
+	r.unitSeq = seq + 1
+	for lm, ls := range r.landmarks {
+		for _, rep := range ls.arrivals.Roll(lm, seq, ls.incomingNeighbors()) {
+			ls.pending[rep.From] = rep
+			// Until the reverse report arrives, estimate the outgoing
+			// bandwidth from the incoming one under observation O3
+			// (matching transit links are near-symmetric).
+			if ls.bw.ApplySymmetric(rep.From, float64(rep.Count), rep.Seq) && !ls.bw.Reported(rep.From) {
+				ls.table.SetLinkDelay(rep.From, routing.LinkDelay(ls.bw.Bandwidth(rep.From), ctx.Cfg.Unit))
+			}
+		}
+		// Re-advertise when the routes materially changed this unit: a
+		// next hop differs, or an advertised delay drifted by more than
+		// half (staleness would mislead downstream HoldOnWorse and
+		// feasibility decisions).
+		hops := ls.table.NextHops()
+		delays := append([]float64(nil), ls.table.ToVector()...)
+		if !equalInts(hops, ls.lastHops) || delaysDrifted(delays, ls.lastDelays, 1.0) {
+			ls.lastHops = hops
+			ls.lastDelays = delays
+			ls.version++
+			ls.changedAt = ctx.Now()
+		}
+		// Housekeeping: drop expired correction notices.
+		var keep []correctionNotice
+		for _, nt := range ls.notices {
+			if ctx.Now() < nt.Expiry {
+				keep = append(keep, nt)
+			}
+		}
+		ls.notices = keep
+		// Fold load-balancing rates (EWMA with the same ρ as bandwidth).
+		rho := r.cfg.Rho
+		for _, link := range sortedKeys2(ls.lbAssigned, ls.lbInRate) {
+			ls.lbInRate[link] = rho*ls.lbAssigned[link] + (1-rho)*ls.lbInRate[link]
+		}
+		for _, link := range sortedKeys2(ls.lbSent, ls.lbOutRate) {
+			ls.lbOutRate[link] = rho*ls.lbSent[link] + (1-rho)*ls.lbOutRate[link]
+		}
+		ls.lbAssigned = map[int]float64{}
+		ls.lbSent = map[int]float64{}
+	}
+	if r.UnitHook != nil {
+		r.UnitHook(seq)
+	}
+}
+
+// incomingNeighbors lists the neighbours this landmark has ever produced a
+// report for (so zero-count reports decay dead links).
+func (ls *landmarkState) incomingNeighbors() []int {
+	out := make([]int, 0, len(ls.pending))
+	for from := range ls.pending {
+		out = append(out, from)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// deliverControl applies the control payloads a node carries when it
+// connects to landmark lm.
+func (r *Router) deliverControl(ctx *sim.Context, ns *nodeState, lm int) {
+	ls := r.landmarks[lm]
+	if len(ns.vectors) > 0 {
+		now := ctx.Now()
+		keep := ns.vectors[:0]
+		for _, v := range ns.vectors {
+			switch {
+			case (v.target == lm || v.target < 0) && v.owner != lm:
+				if v.forced {
+					ls.table.MergeVectorForced(v.owner, v.vec, v.seq)
+				} else {
+					ls.table.MergeVector(v.owner, v.vec, v.seq)
+				}
+				ctx.Metrics.Control(v.entries)
+			case now < v.expiry:
+				keep = append(keep, v)
+			}
+		}
+		ns.vectors = keep
+	}
+	if len(ns.reports) > 0 {
+		var keep []routing.BandwidthReport
+		for _, rep := range ns.reports {
+			if rep.From == lm {
+				if ls.bw.Apply(rep.To, float64(rep.Count), rep.Seq) {
+					ls.table.SetLinkDelay(rep.To, routing.LinkDelay(ls.bw.Bandwidth(rep.To), ctx.Cfg.Unit))
+				}
+				ctx.Metrics.Control(1)
+			} else if rep.Seq >= r.unitSeq-2 {
+				keep = append(keep, rep) // still fresh; keep carrying
+			}
+		}
+		ns.reports = keep
+	}
+	if len(ns.notices) > 0 {
+		var keep []correctionNotice
+		now := ctx.Now()
+		for _, nt := range ns.notices {
+			if now >= nt.Expiry {
+				continue
+			}
+			if nt.To == lm {
+				if until := now + r.loopPeriod(ctx); until > ls.forcedUntil[nt.Dest] {
+					ls.forcedUntil[nt.Dest] = until
+				}
+				ctx.Metrics.Control(1)
+			} else {
+				keep = append(keep, nt)
+			}
+		}
+		ns.notices = keep
+	}
+}
+
+func (r *Router) loopPeriod(ctx *sim.Context) trace.Time {
+	if r.cfg.LoopPeriod > 0 {
+		return r.cfg.LoopPeriod
+	}
+	return ctx.Cfg.Unit
+}
+
+// delaysDrifted reports whether any finite advertised delay moved by more
+// than frac relative to the last advertised value (or changed
+// finite/infinite state).
+func delaysDrifted(cur, last []float64, frac float64) bool {
+	if len(cur) != len(last) {
+		return true
+	}
+	for i := range cur {
+		a, b := last[i], cur[i]
+		finA, finB := a < routing.Infinite, b < routing.Infinite
+		if finA != finB {
+			return true
+		}
+		if !finA {
+			continue
+		}
+		diff := a - b
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > frac*a {
+			return true
+		}
+	}
+	return false
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys2(a, b map[int]float64) []int {
+	set := map[int]bool{}
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestSmokeEndToEnd runs DTN-FLOW on a small synthetic trace and checks
+// that a healthy fraction of packets is delivered.
+func TestSmokeEndToEnd(t *testing.T) {
+	tr := synth.Small(synth.DefaultSmall())
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	cfg := sim.DefaultConfig(tr.Duration())
+	cfg.TTL = 2 * trace.Day
+	cfg.Unit = 12 * trace.Hour
+	w := sim.NewWorkload(200, cfg.PacketSize, cfg.TTL)
+	eng := sim.New(tr, New(DefaultConfig()), w, cfg)
+	res := eng.Run()
+	t.Logf("generated=%d delivered=%d success=%.2f avgDelay=%.1fh fwd=%d total=%d",
+		res.Summary.Generated, res.Summary.Delivered, res.Summary.SuccessRate,
+		res.Summary.AvgDelay/3600, res.Summary.Forwarding, res.Summary.TotalCost)
+	if res.Summary.Generated == 0 {
+		t.Fatal("no packets generated")
+	}
+	if res.Summary.SuccessRate < 0.3 {
+		t.Fatalf("success rate %.2f too low for a small dense trace", res.Summary.SuccessRate)
+	}
+}

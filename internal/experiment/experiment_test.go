@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every artifact indexed in DESIGN.md must be registered.
+	want := []string{
+		"table1", "fig2", "fig3", "fig4", "fig6", "fig8",
+		"fig11", "fig12", "fig13", "fig14",
+		"table6", "table7", "table8", "table9",
+		"fig16", "table10",
+		"ablation-order", "ablation-po", "ablation-direct", "ablation-hold",
+		"ablation-ewma", "ablation-landmarks",
+	}
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing experiment %q: %v", id, err)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown id did not error")
+	}
+	if len(All()) != len(IDs()) {
+		t.Error("All/IDs mismatch")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{ID: "x", Title: "T", Paper: "Fig. 0"}
+	sec := Section{Heading: "h", Columns: []string{"a", "bb"}}
+	sec.AddRow("1", "2")
+	sec.Notes = append(sec.Notes, "n")
+	rep.Sections = append(rep.Sections, sec)
+	out := rep.String()
+	for _, want := range []string{"== x — T (Fig. 0)", "-- h", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTinyTraceExperiments(t *testing.T) {
+	opt := Options{Scale: Tiny, Seeds: 1}
+	for _, id := range []string{"table1", "fig2", "fig3", "fig6"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := e.Run(opt)
+		if len(rep.Sections) == 0 {
+			t.Errorf("%s: empty report", id)
+		}
+		if rep.ID != id {
+			t.Errorf("%s: ID mismatch %q", id, rep.ID)
+		}
+	}
+}
+
+func TestTinySimulationExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments are slow")
+	}
+	opt := Options{Scale: Tiny, Seeds: 1}
+	for _, id := range []string{"fig16", "table10", "ablation-po"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := e.Run(opt)
+		if len(rep.Sections) == 0 {
+			t.Errorf("%s: empty report", id)
+		}
+	}
+}
+
+func TestSweepAveraging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs simulations")
+	}
+	sc := DNETScenario(Tiny)
+	pts := Sweep([]string{"DTN-FLOW"}, []float64{100}, Options{Seeds: 2}, func(m string, x float64, seed int64) Run {
+		return Run{Scenario: sc, Router: routerFactory(m), Rate: x, Seed: seed}
+	})
+	if len(pts) != 1 || len(pts[0].Results) != 1 {
+		t.Fatalf("points = %+v", pts)
+	}
+	a := pts[0].Results[0]
+	if a.Success <= 0 || a.Success > 1 {
+		t.Errorf("averaged success = %v", a.Success)
+	}
+}
+
+func TestScenarioConfigsFollowPaper(t *testing.T) {
+	dart := DARTScenario(Full)
+	if dart.TTL != 20*86400 || dart.Unit != 3*86400 || dart.RateDef != 500 {
+		t.Errorf("DART scenario settings: %+v", dart)
+	}
+	cfg := dart.Config(1)
+	if cfg.PacketSize != 1024 {
+		t.Errorf("DART sim config: %+v", cfg)
+	}
+	// The paper's 2000 kB default, scaled by the scenario's memory divisor
+	// to preserve the congestion regime (see DESIGN.md).
+	if cfg.NodeMemory != dart.Memory(2000) || cfg.NodeMemory != 2000*1024/dart.MemDiv {
+		t.Errorf("DART node memory = %d, want scaled 2000 kB", cfg.NodeMemory)
+	}
+	if cfg.Warmup != dart.Trace.Duration()/4 {
+		t.Error("warmup must be the first quarter of the trace")
+	}
+	dnet := DNETScenario(Full)
+	if dnet.TTL != 4*86400 {
+		t.Errorf("DNET TTL = %v", dnet.TTL)
+	}
+}

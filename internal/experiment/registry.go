@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// An experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string
+	Run   func(opt Options) *Report
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiment: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (try one of %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists all registered experiment IDs in a stable order: tables and
+// figures by number first, then ablations.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered experiment in ID order.
+func All() []*Experiment {
+	var out []*Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatHelpers(t *testing.T) {
+	if f2(1.234) != "1.23" || f3(0.5) != "0.500" {
+		t.Error("float formatting wrong")
+	}
+	if fd(86400) != "1.00d" {
+		t.Errorf("fd = %q", fd(86400))
+	}
+	if fint(12.7) != "13" {
+		t.Errorf("fint = %q", fint(12.7))
+	}
+	if got := ci(0.5, 0.1, f2); got != "0.50±0.10" {
+		t.Errorf("ci = %q", got)
+	}
+	if got := ci(0.5, 0, f2); got != "0.50" {
+		t.Errorf("ci without interval = %q", got)
+	}
+}
+
+func TestReportAlignment(t *testing.T) {
+	rep := &Report{ID: "a", Title: "b", Paper: "c"}
+	sec := Section{Columns: []string{"col", "x"}}
+	sec.AddRow("longvalue", "1")
+	sec.AddRow("s", "2")
+	rep.Sections = append(rep.Sections, sec)
+	lines := strings.Split(rep.String(), "\n")
+	// Header and rows must be padded to the same prefix width.
+	var width int
+	for _, l := range lines {
+		if strings.Contains(l, "longvalue") {
+			width = strings.Index(l, "1")
+		}
+	}
+	if width == 0 {
+		t.Fatal("row not rendered")
+	}
+	for _, l := range lines {
+		if strings.HasPrefix(l, "s ") {
+			if strings.Index(l, "2") != width {
+				t.Errorf("misaligned row: %q", l)
+			}
+		}
+	}
+}
+
+func TestAverageEmpty(t *testing.T) {
+	a := Average(nil)
+	if a.Method != "" || a.Success != 0 {
+		t.Errorf("empty average = %+v", a)
+	}
+}
+
+func TestScenarioMemoryFloor(t *testing.T) {
+	sc := &Scenario{MemDiv: 1 << 40}
+	if sc.Memory(2000) < 1024 {
+		t.Error("memory floor violated")
+	}
+	sc2 := &Scenario{} // zero divisor treated as 1
+	if sc2.Memory(2000) != 2000*1024 {
+		t.Errorf("unscaled memory = %d", sc2.Memory(2000))
+	}
+}

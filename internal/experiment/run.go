@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Methods in the paper's comparison order.
+var MethodNames = []string{"DTN-FLOW", "PER", "SimBet", "PROPHET", "GeoComm", "PGR"}
+
+// NewRouter builds a fresh router by method name. DTN-FLOW uses the
+// headline configuration (extensions off, per Section V-A).
+func NewRouter(name string) sim.Router {
+	switch name {
+	case "DTN-FLOW":
+		return core.New(core.DefaultConfig())
+	case "PER":
+		return baselines.NewBase(baselines.NewPER())
+	case "SimBet":
+		return baselines.NewBase(baselines.NewSimBet())
+	case "PROPHET":
+		return baselines.NewBase(baselines.NewPROPHET())
+	case "GeoComm":
+		return baselines.NewBase(baselines.NewGeoComm())
+	case "PGR":
+		return baselines.NewBase(baselines.NewPGR())
+	default:
+		panic("experiment: unknown method " + name)
+	}
+}
+
+// Run is one simulation request: a scenario, a router factory, a workload,
+// and optional config tweaks applied after defaults.
+type Run struct {
+	Scenario *Scenario
+	Router   func() sim.Router
+	Rate     float64
+	Seed     int64
+	Tweak    func(*sim.Config)
+	// Setup runs after engine construction but before Run (fault
+	// injection, hooks).
+	Setup func(*sim.Engine, sim.Router)
+}
+
+// Execute performs one run and returns its summary.
+func (r Run) Execute() metrics.Summary {
+	cfg := r.Scenario.Config(r.Seed)
+	if r.Tweak != nil {
+		r.Tweak(&cfg)
+	}
+	rate := r.Rate
+	if rate <= 0 {
+		rate = r.Scenario.RateDef
+	}
+	router := r.Router()
+	eng := sim.New(r.Scenario.Trace, router, r.Scenario.Workload(rate), cfg)
+	if r.Setup != nil {
+		r.Setup(eng, router)
+	}
+	return eng.Run().Summary
+}
+
+// Parallel executes the runs concurrently (each run owns its engine and
+// RNG, so results are independent of scheduling) and returns the summaries
+// in input order.
+func Parallel(runs []Run, workers int) []metrics.Summary {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	out := make([]metrics.Summary, len(runs))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				out[i] = runs[i].Execute()
+			}
+		}()
+	}
+	for i := range runs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// SeededAverage runs the same configuration across opt.Seeds seeds and
+// returns the per-metric means and 95% CI half-widths.
+type Averaged struct {
+	Method                string
+	Success, SuccessCI    float64
+	Delay, DelayCI        float64 // seconds
+	OverallDelay          float64
+	Forwarding, TotalCost float64
+}
+
+// Average folds per-seed summaries into means with confidence intervals.
+func Average(sums []metrics.Summary) Averaged {
+	var a Averaged
+	if len(sums) == 0 {
+		return a
+	}
+	a.Method = sums[0].Method
+	succ := make([]float64, len(sums))
+	delay := make([]float64, len(sums))
+	var over, fwd, tot float64
+	for i, s := range sums {
+		succ[i] = s.SuccessRate
+		delay[i] = s.AvgDelay
+		over += s.OverallDelay
+		fwd += float64(s.Forwarding)
+		tot += float64(s.TotalCost)
+	}
+	a.Success, a.SuccessCI = metrics.CI95(succ)
+	a.Delay, a.DelayCI = metrics.CI95(delay)
+	n := float64(len(sums))
+	a.OverallDelay = over / n
+	a.Forwarding = fwd / n
+	a.TotalCost = tot / n
+	return a
+}
+
+// SweepPoint is one x-value of a parameter sweep with the averaged result
+// of every method.
+type SweepPoint struct {
+	X       float64
+	Results []Averaged // aligned with the method list used
+}
+
+// Sweep runs methods × xs × seeds in parallel. build returns the Run for
+// (method, x, seed).
+func Sweep(methods []string, xs []float64, opt Options, build func(method string, x float64, seed int64) Run) []SweepPoint {
+	seeds := opt.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	var runs []Run
+	for _, x := range xs {
+		for _, m := range methods {
+			for s := 0; s < seeds; s++ {
+				runs = append(runs, build(m, x, int64(s+1)))
+			}
+		}
+	}
+	sums := Parallel(runs, opt.Workers)
+	points := make([]SweepPoint, len(xs))
+	i := 0
+	for xi, x := range xs {
+		points[xi].X = x
+		for range methods {
+			points[xi].Results = append(points[xi].Results, Average(sums[i:i+seeds]))
+			i += seeds
+		}
+	}
+	return points
+}
+
+// routerFactory returns a factory for NewRouter(name).
+func routerFactory(name string) func() sim.Router {
+	return func() sim.Router { return NewRouter(name) }
+}

@@ -1,0 +1,184 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section V) plus the ablations called out in DESIGN.md. Each
+// experiment has an ID (table/figure number), builds its workload, runs the
+// routers through the shared simulator, and renders the same rows or series
+// the paper reports. Sweeps run their simulations in parallel — each run
+// owns its engine and seeded RNG, so results are deterministic regardless
+// of scheduling.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Scale selects the size of the synthetic traces: Full matches the paper's
+// trace dimensions; Quick is a reduced version for tests and benchmarks.
+type Scale string
+
+// Scales.
+const (
+	Full  Scale = "full"
+	Quick Scale = "quick"
+	// Tiny is for benchmarks: seconds per simulation, same qualitative
+	// structure.
+	Tiny Scale = "tiny"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	Scale Scale
+	// Seeds is the number of independent seeds per data point (the paper
+	// reports 95% confidence intervals). 1 disables CIs.
+	Seeds int
+	// Workers bounds parallel simulations; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns full-scale, single-seed options.
+func DefaultOptions() Options { return Options{Scale: Full, Seeds: 1} }
+
+// Scenario bundles a trace with the paper's per-trace experiment settings.
+//
+// MemDiv scales the paper's node-memory sizes down to our workload: the
+// paper generates packets per landmark per day, so its absolute buffer
+// sizes correspond to a traffic volume roughly L times larger than our
+// network-wide interpretation (see DESIGN.md). Dividing the memory sizes
+// by MemDiv preserves the paper's congestion regime — the ratio of
+// in-flight packets to fleet storage — which is what the memory and
+// packet-rate sweeps measure.
+type Scenario struct {
+	Name    string
+	Trace   *trace.Trace
+	TTL     trace.Time
+	Unit    trace.Time
+	RateDef float64 // default packet rate (packets/day network-wide)
+	MemDiv  int64   // node-memory scale divisor (>= 1)
+}
+
+// Memory converts one of the paper's memory sizes (kB) into this
+// scenario's node-buffer bytes.
+func (sc *Scenario) Memory(kb float64) int64 {
+	div := sc.MemDiv
+	if div < 1 {
+		div = 1
+	}
+	b := int64(kb*1024) / div
+	if b < 1024 {
+		b = 1024
+	}
+	return b
+}
+
+// Config returns the simulator configuration for this scenario with the
+// paper's defaults (Section V-A.1).
+func (sc *Scenario) Config(seed int64) sim.Config {
+	cfg := sim.DefaultConfig(sc.Trace.Duration())
+	cfg.Seed = seed
+	cfg.TTL = sc.TTL
+	cfg.Unit = sc.Unit
+	cfg.NodeMemory = sc.Memory(2000) // the paper's 2000 kB default
+	return cfg
+}
+
+// Workload returns the scenario's default workload at the given rate.
+func (sc *Scenario) Workload(rate float64) *sim.Workload {
+	return sim.NewWorkload(rate, 1024, sc.TTL)
+}
+
+// DARTScenario builds the DART-like scenario: TTL 20 days, time unit
+// 3 days, default rate 500 packets/day.
+func DARTScenario(scale Scale) *Scenario {
+	cfg := synth.DefaultDART()
+	sc := &Scenario{
+		Name:    "DART",
+		TTL:     20 * trace.Day,
+		Unit:    3 * trace.Day,
+		RateDef: 500,
+		MemDiv:  120,
+	}
+	switch scale {
+	case Quick:
+		// Smaller topology but the same number of warmup time units, so
+		// the control plane converges as it does at full scale.
+		cfg.Nodes = 120
+		cfg.Landmarks = 60
+		cfg.Days = 56
+		cfg.Communities = 12
+		sc.Unit = 3 * trace.Day / 2
+		sc.TTL = 10 * trace.Day
+	case Tiny:
+		cfg.Nodes = 48
+		cfg.Landmarks = 24
+		cfg.Days = 28
+		cfg.Communities = 6
+		sc.Unit = trace.Day
+		sc.TTL = 7 * trace.Day
+		sc.RateDef = 200
+	}
+	sc.Trace = synth.DART(cfg)
+	return sc
+}
+
+// DNETScenario builds the DNET-like scenario: TTL 4 days, time unit half a
+// day (the unit used for the DNET trace analysis), default rate 500
+// packets/day.
+func DNETScenario(scale Scale) *Scenario {
+	cfg := synth.DefaultDNET()
+	sc := &Scenario{
+		Name:    "DNET",
+		TTL:     4 * trace.Day,
+		Unit:    trace.Day / 2,
+		RateDef: 500,
+		MemDiv:  60,
+	}
+	switch scale {
+	case Quick:
+		cfg.Buses = 24
+		cfg.Landmarks = 14
+		cfg.Days = 20
+		cfg.Routes = 6
+		cfg.NoiseProb = 0.1
+	case Tiny:
+		cfg.Buses = 12
+		cfg.Landmarks = 10
+		cfg.Days = 10
+		cfg.Routes = 4
+		cfg.NoiseProb = 0.1
+		sc.RateDef = 200
+	}
+	sc.Trace = synth.DNET(cfg)
+	return sc
+}
+
+// CampusScenario builds the real-deployment scenario of Section V-C:
+// TTL 3 days, time unit 12 hours, 75 packets per landmark per day all
+// destined to L1 (the library).
+func CampusScenario(scale Scale) *Scenario {
+	cfg := synth.DefaultCampus()
+	if scale != Full {
+		cfg.Days = 7
+	}
+	return &Scenario{
+		Name:    "CAMPUS",
+		Trace:   synth.Campus(cfg),
+		TTL:     3 * trace.Day,
+		Unit:    12 * trace.Hour,
+		RateDef: 75,
+	}
+}
+
+// BothScenarios returns the DART and DNET scenarios.
+func BothScenarios(scale Scale) []*Scenario {
+	return []*Scenario{DARTScenario(scale), DNETScenario(scale)}
+}
+
+// String implements fmt.Stringer.
+func (sc *Scenario) String() string {
+	return fmt.Sprintf("%s (%d nodes, %d landmarks, %.0fd)",
+		sc.Name, sc.Trace.NumNodes, sc.Trace.NumLandmarks,
+		float64(sc.Trace.Duration())/float64(trace.Day))
+}

@@ -1,0 +1,73 @@
+// Package geo provides the small amount of planar geometry DTN-FLOW needs:
+// landmark positions, distances, and nearest-landmark (Voronoi) subarea
+// assignment used by the subarea-division rules of Section IV-A.2.
+package geo
+
+import "math"
+
+// Point is a position in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q in meters.
+func Dist(p, q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Nearest returns the index in pts of the point closest to p, or -1 when
+// pts is empty. Ties resolve to the lowest index, which keeps subarea
+// assignment deterministic.
+func Nearest(p Point, pts []Point) int {
+	best, bestD := -1, math.Inf(1)
+	for i, q := range pts {
+		if d := Dist(p, q); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Centroid returns the arithmetic mean of pts. The zero Point is returned
+// for an empty slice.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var c Point
+	for _, p := range pts {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	c.X /= float64(len(pts))
+	c.Y /= float64(len(pts))
+	return c
+}
+
+// Voronoi assigns every point in samples to its nearest site, implementing
+// the paper's subarea rules: one landmark per subarea, the space between two
+// landmarks split evenly, no overlap. It returns the assignment indices.
+func Voronoi(samples []Point, sites []Point) []int {
+	out := make([]int, len(samples))
+	for i, s := range samples {
+		out[i] = Nearest(s, sites)
+	}
+	return out
+}
+
+// Bounds returns the bounding box of pts as (min, max). For an empty slice
+// both are the zero Point.
+func Bounds(pts []Point) (min, max Point) {
+	if len(pts) == 0 {
+		return Point{}, Point{}
+	}
+	min, max = pts[0], pts[0]
+	for _, p := range pts[1:] {
+		min.X = math.Min(min.X, p.X)
+		min.Y = math.Min(min.Y, p.Y)
+		max.X = math.Max(max.X, p.X)
+		max.Y = math.Max(max.Y, p.Y)
+	}
+	return min, max
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestCollectorSummarize(t *testing.T) {
+	var c Collector
+	c.PacketGenerated()
+	c.PacketGenerated()
+	c.PacketGenerated()
+	c.PacketDelivered(100)
+	c.PacketDelivered(300)
+	c.PacketDropped(DropTTL)
+	c.Forwarded()
+	c.Forwarded()
+	c.Control(10)
+	s := c.Summarize("m", 1000)
+	if s.Generated != 3 || s.Delivered != 2 {
+		t.Errorf("counts wrong: %+v", s)
+	}
+	if math.Abs(s.SuccessRate-2.0/3.0) > 1e-12 {
+		t.Errorf("success = %v", s.SuccessRate)
+	}
+	if s.AvgDelay != 200 {
+		t.Errorf("avg delay = %v", s.AvgDelay)
+	}
+	// Overall delay: (100 + 300 + 1000) / 3.
+	if math.Abs(s.OverallDelay-1400.0/3.0) > 1e-9 {
+		t.Errorf("overall delay = %v", s.OverallDelay)
+	}
+	if s.Forwarding != 2 || s.TotalCost != 12 {
+		t.Errorf("costs = %d, %d", s.Forwarding, s.TotalCost)
+	}
+	if s.DelayQ[0] != 100 || s.DelayQ[4] != 300 {
+		t.Errorf("delayQ = %v", s.DelayQ)
+	}
+}
+
+func TestSummarizeNoDeliveries(t *testing.T) {
+	var c Collector
+	c.PacketGenerated()
+	c.PacketDropped(DropEnd)
+	s := c.Summarize("m", 500)
+	if s.SuccessRate != 0 || s.OverallDelay != 500 {
+		t.Errorf("%+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	if Quantile([]float64{7}, 0.9) != 7 {
+		t.Error("single-element quantile")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	mean, half := CI95([]float64{10, 10, 10, 10})
+	if mean != 10 || half != 0 {
+		t.Errorf("constant CI = %v ± %v", mean, half)
+	}
+	mean, half = CI95([]float64{8, 12})
+	if mean != 10 || half <= 0 {
+		t.Errorf("CI = %v ± %v", mean, half)
+	}
+	if m, h := CI95([]float64{5}); m != 5 || h != 0 {
+		t.Errorf("single-sample CI = %v ± %v", m, h)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	if got := FormatDuration(float64(3 * trace.Day)); got != "3.00d" {
+		t.Errorf("days = %q", got)
+	}
+	if got := FormatDuration(float64(5 * trace.Hour)); got != "5.0h" {
+		t.Errorf("hours = %q", got)
+	}
+	if got := FormatDuration(float64(30 * trace.Minute)); got != "30min" {
+		t.Errorf("minutes = %q", got)
+	}
+}

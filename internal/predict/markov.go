@@ -1,0 +1,158 @@
+// Package predict implements the order-k Markov next-landmark predictor of
+// Section IV-B together with the per-node prediction-accuracy tracking used
+// to refine carrier selection (Section IV-D.4).
+//
+// A node's history is its ordered sequence of visited landmarks. The
+// order-k predictor estimates, from the last k landmarks (the context), the
+// probability of each possible next landmark as the fraction of times that
+// next landmark followed the same context in the history, exactly as in the
+// paper's Eqs. (1)–(3).
+package predict
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Markov is an order-k Markov predictor over landmark indices. The zero
+// value is not usable; construct with NewMarkov. Markov is not safe for
+// concurrent use.
+type Markov struct {
+	k       int
+	history []int
+	// counts[ctx][next] = occurrences of context ctx followed by next.
+	counts map[string]map[int]int
+	// ctxTotal[ctx] = total occurrences of context ctx with a successor.
+	ctxTotal map[string]int
+}
+
+// NewMarkov returns an order-k predictor. k must be >= 1.
+func NewMarkov(k int) *Markov {
+	if k < 1 {
+		panic(fmt.Sprintf("predict: order %d < 1", k))
+	}
+	return &Markov{
+		k:        k,
+		counts:   map[string]map[int]int{},
+		ctxTotal: map[string]int{},
+	}
+}
+
+// Order returns the predictor's order k.
+func (m *Markov) Order() int { return m.k }
+
+// HistoryLen returns the number of landmarks observed so far.
+func (m *Markov) HistoryLen() int { return len(m.history) }
+
+// Current returns the most recently observed landmark, or -1 when the
+// history is empty.
+func (m *Markov) Current() int {
+	if len(m.history) == 0 {
+		return -1
+	}
+	return m.history[len(m.history)-1]
+}
+
+func ctxKey(ctx []int) string {
+	b := make([]byte, 0, len(ctx)*3)
+	for _, v := range ctx {
+		b = appendVarint(b, v)
+	}
+	return string(b)
+}
+
+func appendVarint(b []byte, v int) []byte {
+	u := uint(v)
+	for u >= 0x80 {
+		b = append(b, byte(u)|0x80)
+		u >>= 7
+	}
+	return append(b, byte(u))
+}
+
+// Observe appends landmark lm to the history and updates every context of
+// length 1..k ending just before lm. Consecutive duplicates are ignored:
+// the history is a sequence of transits, so the landmark must change.
+func (m *Markov) Observe(lm int) {
+	n := len(m.history)
+	if n > 0 && m.history[n-1] == lm {
+		return
+	}
+	for j := 1; j <= m.k && j <= n; j++ {
+		key := ctxKey(m.history[n-j:])
+		nm := m.counts[key]
+		if nm == nil {
+			nm = map[int]int{}
+			m.counts[key] = nm
+		}
+		nm[lm]++
+		m.ctxTotal[key]++
+	}
+	m.history = append(m.history, lm)
+}
+
+// Prediction is one candidate next landmark with its probability.
+type Prediction struct {
+	Landmark    int
+	Probability float64
+}
+
+// Distribution returns the probability of each candidate next landmark
+// given the current context, in decreasing probability (ties by lower
+// landmark index). It backs off to shorter contexts when the full k-length
+// context was never seen, and returns nil when no context matches — the
+// paper's "missed k-hop transit pattern" case.
+func (m *Markov) Distribution() []Prediction {
+	n := len(m.history)
+	if n == 0 {
+		return nil
+	}
+	for j := min(m.k, n); j >= 1; j-- {
+		key := ctxKey(m.history[n-j:])
+		total := m.ctxTotal[key]
+		if total == 0 {
+			continue
+		}
+		nm := m.counts[key]
+		out := make([]Prediction, 0, len(nm))
+		for lm, c := range nm {
+			out = append(out, Prediction{Landmark: lm, Probability: float64(c) / float64(total)})
+		}
+		sort.Slice(out, func(a, b int) bool {
+			if out[a].Probability != out[b].Probability {
+				return out[a].Probability > out[b].Probability
+			}
+			return out[a].Landmark < out[b].Landmark
+		})
+		return out
+	}
+	return nil
+}
+
+// Predict returns the most probable next landmark and its probability.
+// ok is false when the predictor has no matching context.
+func (m *Markov) Predict() (lm int, p float64, ok bool) {
+	dist := m.Distribution()
+	if len(dist) == 0 {
+		return -1, 0, false
+	}
+	return dist[0].Landmark, dist[0].Probability, true
+}
+
+// ProbabilityOf returns the predicted probability that the next landmark is
+// lm, using the same backed-off context as Distribution.
+func (m *Markov) ProbabilityOf(lm int) float64 {
+	for _, p := range m.Distribution() {
+		if p.Landmark == lm {
+			return p.Probability
+		}
+	}
+	return 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,170 @@
+// Package routing implements the inter-landmark control plane of
+// Section IV-C: transit-link bandwidth measurement with exponential
+// averaging (Eq. (4)), link delay estimation, and distance-vector routing
+// tables with a backup next hop (Section IV-E.3) plus the loop-detection
+// helpers of Section IV-E.2.
+package routing
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Infinite is the delay of an unreachable destination.
+const Infinite = math.MaxFloat64
+
+// BandwidthTable tracks, on one landmark, the bandwidth of its outgoing
+// transit links: B(me→nbr) in node transits per time unit, smoothed by
+// Eq. (4): B ← ρ·n_t + (1−ρ)·B. Reports arrive with a time-unit sequence
+// number; stale reports (sequence not newer than the last applied one) are
+// discarded, as the paper prescribes.
+// Two estimates are kept per link: the authoritative reported one (from
+// node-carried reports, Section IV-C.1's final mechanism) and a symmetric
+// fallback derived from the reverse direction under observation O3 ("l_i
+// can regard n_t(i→j) = n_t(j→i)"), used only until the first real report
+// arrives. The paper introduces the symmetric estimate first and the
+// report mechanism as its correction; combining them bootstraps routing on
+// links whose reverse reports travel slowly.
+type BandwidthTable struct {
+	Rho float64 // EWMA weight ρ in (0, 1]
+
+	rep    map[int]float64
+	repSeq map[int]int
+	sym    map[int]float64
+	symSeq map[int]int
+}
+
+// NewBandwidthTable returns a table with weight rho (clamped into (0,1]).
+func NewBandwidthTable(rho float64) *BandwidthTable {
+	if rho <= 0 || rho > 1 {
+		rho = 0.5
+	}
+	return &BandwidthTable{
+		Rho:    rho,
+		rep:    map[int]float64{},
+		repSeq: map[int]int{},
+		sym:    map[int]float64{},
+		symSeq: map[int]int{},
+	}
+}
+
+// Apply folds a reported transit count for link me→nbr during time unit
+// unitSeq into the authoritative estimate. It reports whether the report
+// was fresh.
+func (t *BandwidthTable) Apply(nbr int, count float64, unitSeq int) bool {
+	return applyEWMA(t.rep, t.repSeq, t.Rho, nbr, count, unitSeq)
+}
+
+// ApplySymmetric folds the locally observed reverse-direction count in as
+// the O3 fallback estimate.
+func (t *BandwidthTable) ApplySymmetric(nbr int, count float64, unitSeq int) bool {
+	return applyEWMA(t.sym, t.symSeq, t.Rho, nbr, count, unitSeq)
+}
+
+func applyEWMA(bw map[int]float64, seq map[int]int, rho float64, nbr int, count float64, unitSeq int) bool {
+	if last, ok := seq[nbr]; ok && unitSeq <= last {
+		return false
+	}
+	seq[nbr] = unitSeq
+	if old, ok := bw[nbr]; ok {
+		bw[nbr] = rho*count + (1-rho)*old
+	} else {
+		bw[nbr] = count
+	}
+	return true
+}
+
+// Bandwidth returns the current estimate for link me→nbr: the reported
+// value when one exists, the symmetric fallback otherwise (0 when neither
+// is known).
+func (t *BandwidthTable) Bandwidth(nbr int) float64 {
+	if b, ok := t.rep[nbr]; ok {
+		return b
+	}
+	return t.sym[nbr]
+}
+
+// Reported returns whether a real report has ever been applied for nbr.
+func (t *BandwidthTable) Reported(nbr int) bool { _, ok := t.rep[nbr]; return ok }
+
+// Neighbors returns the neighbours with positive bandwidth, sorted.
+func (t *BandwidthTable) Neighbors() []int {
+	set := map[int]bool{}
+	for n, b := range t.rep {
+		if b > 0 {
+			set[n] = true
+		}
+	}
+	for n, b := range t.sym {
+		if b > 0 && !t.Reported(n) {
+			set[n] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LinkDelay converts a bandwidth into the expected delay (seconds) of
+// pushing one packet across the link: the mean wait for the next carrier,
+// unit/B. Zero bandwidth yields Infinite.
+func LinkDelay(bandwidth float64, unit trace.Time) float64 {
+	if bandwidth <= 0 {
+		return Infinite
+	}
+	return float64(unit) / bandwidth
+}
+
+// ArrivalCounter counts, on one landmark, node arrivals per previous
+// landmark within the current time unit. Rolling the counter at a unit
+// boundary yields the n_t(from→me) reports that travel back to each
+// neighbouring landmark inside departing nodes (Section IV-C.1).
+type ArrivalCounter struct {
+	counts map[int]int
+}
+
+// NewArrivalCounter returns an empty counter.
+func NewArrivalCounter() *ArrivalCounter { return &ArrivalCounter{counts: map[int]int{}} }
+
+// Record notes one node arrival whose previous landmark was from.
+// Negative from (no previous landmark) is ignored.
+func (c *ArrivalCounter) Record(from int) {
+	if from >= 0 {
+		c.counts[from]++
+	}
+}
+
+// BandwidthReport carries a measured transit count for link From→To during
+// time unit Seq; it is applied at landmark From.
+type BandwidthReport struct {
+	From, To int
+	Count    int
+	Seq      int
+}
+
+// Roll returns the reports for the completed time unit and resets the
+// counter. me is the landmark owning the counter; seq the completed unit.
+// Neighbours with zero arrivals this unit still get a report so their
+// bandwidth estimate decays (otherwise a dead link would keep its old
+// bandwidth forever).
+func (c *ArrivalCounter) Roll(me, seq int, knownNeighbors []int) []BandwidthReport {
+	seen := map[int]bool{}
+	var out []BandwidthReport
+	for from, n := range c.counts {
+		out = append(out, BandwidthReport{From: from, To: me, Count: n, Seq: seq})
+		seen[from] = true
+	}
+	for _, from := range knownNeighbors {
+		if !seen[from] {
+			out = append(out, BandwidthReport{From: from, To: me, Count: 0, Seq: seq})
+		}
+	}
+	c.counts = map[int]int{}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}

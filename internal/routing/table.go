@@ -1,0 +1,324 @@
+package routing
+
+import "sort"
+
+// Entry is one routing-table row (Table IV / Table V): the next-hop
+// landmark toward Dest with the minimal overall delay, plus the backup
+// next hop with the second-lowest overall delay via a different neighbour
+// (Section IV-E.3). Backup is -1 when no alternative neighbour reaches
+// Dest.
+type Entry struct {
+	Dest        int
+	Next        int
+	Delay       float64
+	Backup      int
+	BackupDelay float64
+}
+
+// Table is the distance-vector routing table of one landmark. It stores
+// the latest distance vector received from each neighbouring landmark
+// together with the local link delays, and recomputes best and backup
+// routes from them — the fixpoint of the paper's per-entry merge of
+// Section IV-C.2, extended with backup tracking. Storage is dense (indexed
+// by landmark) because recomputation is the hot path of large simulations.
+type Table struct {
+	Owner int
+
+	size      int
+	linkDelay []float64         // per neighbour; Infinite = no link
+	nbrs      []int             // sorted neighbours with finite link delay
+	vectors   map[int][]float64 // neighbour -> advertised delay per dest
+	vectorSeq map[int]int       // neighbour -> seq of stored vector
+	next      []int             // per dest; -1 = unreachable
+	delay     []float64         // per dest
+	backup    []int             // per dest; -1 = none
+	bakDelay  []float64         // per dest
+	reachable int
+	dirty     bool
+}
+
+// NewTable returns an empty table for landmark owner in a network of size
+// landmarks.
+func NewTable(owner, size int) *Table {
+	t := &Table{
+		Owner:     owner,
+		size:      size,
+		linkDelay: make([]float64, size),
+		vectors:   map[int][]float64{},
+		vectorSeq: map[int]int{},
+		next:      make([]int, size),
+		delay:     make([]float64, size),
+		backup:    make([]int, size),
+		bakDelay:  make([]float64, size),
+	}
+	for i := 0; i < size; i++ {
+		t.linkDelay[i] = Infinite
+		t.next[i] = -1
+		t.delay[i] = Infinite
+		t.backup[i] = -1
+		t.bakDelay[i] = Infinite
+	}
+	return t
+}
+
+// Size returns the number of landmarks the table was sized for.
+func (t *Table) Size() int { return t.size }
+
+// SetLinkDelay updates the local estimate of the delay to a neighbouring
+// landmark (derived from the link's bandwidth). An Infinite delay removes
+// the neighbour from consideration.
+func (t *Table) SetLinkDelay(nbr int, delay float64) {
+	if nbr == t.Owner || nbr < 0 || nbr >= t.size {
+		return
+	}
+	had := t.linkDelay[nbr] < Infinite
+	t.linkDelay[nbr] = delay
+	has := delay < Infinite
+	if has && !had {
+		t.nbrs = append(t.nbrs, nbr)
+		sort.Ints(t.nbrs)
+	} else if !has && had {
+		for i, n := range t.nbrs {
+			if n == nbr {
+				t.nbrs = append(t.nbrs[:i], t.nbrs[i+1:]...)
+				break
+			}
+		}
+	}
+	t.dirty = true
+}
+
+// LinkDelay returns the local link delay to nbr (Infinite when unknown).
+func (t *Table) LinkDelay(nbr int) float64 {
+	if nbr < 0 || nbr >= t.size {
+		return Infinite
+	}
+	return t.linkDelay[nbr]
+}
+
+// Neighbors returns the landmarks with a finite local link delay.
+func (t *Table) Neighbors() []int { return append([]int(nil), t.nbrs...) }
+
+// MergeVector installs the distance vector advertised by a neighbouring
+// landmark — vec[d] is the neighbour's overall delay to d (Infinite =
+// unreachable) — tagged with the sequence it was generated at. Vectors not
+// newer than the stored one are discarded, as the paper prescribes. The
+// slice is copied. It reports whether the vector was applied.
+func (t *Table) MergeVector(nbr int, vec []float64, seq int) bool {
+	if nbr == t.Owner || nbr < 0 || nbr >= t.size || len(vec) != t.size {
+		return false
+	}
+	if last, ok := t.vectorSeq[nbr]; ok && seq <= last {
+		return false
+	}
+	t.storeVector(nbr, vec, seq)
+	return true
+}
+
+// MergeVectorForced installs a vector regardless of the stored sequence
+// number and bumps the stored sequence past both the old and the supplied
+// value. Loop correction (Section IV-E.2) uses it so the repeated
+// re-advertisements of the involved landmarks override the stale state
+// that formed the loop.
+func (t *Table) MergeVectorForced(nbr int, vec []float64, seq int) bool {
+	if nbr == t.Owner || nbr < 0 || nbr >= t.size || len(vec) != t.size {
+		return false
+	}
+	if last, ok := t.vectorSeq[nbr]; ok && seq <= last {
+		seq = last + 1
+	}
+	t.storeVector(nbr, vec, seq)
+	return true
+}
+
+func (t *Table) storeVector(nbr int, vec []float64, seq int) {
+	dst := t.vectors[nbr]
+	if dst == nil {
+		dst = make([]float64, t.size)
+		t.vectors[nbr] = dst
+	}
+	copy(dst, vec)
+	dst[t.Owner] = Infinite // never route to ourselves via a neighbour
+	t.vectorSeq[nbr] = seq
+	t.dirty = true
+}
+
+// refresh recomputes the routes when mutations are pending. Mutators only
+// mark the table dirty, so a burst of link-delay and vector updates costs
+// one recomputation.
+func (t *Table) refresh() {
+	if t.dirty {
+		t.dirty = false
+		t.recompute()
+	}
+}
+
+// recompute rebuilds every route from the stored link delays and vectors.
+func (t *Table) recompute() {
+	for d := 0; d < t.size; d++ {
+		t.next[d] = -1
+		t.delay[d] = Infinite
+		t.backup[d] = -1
+		t.bakDelay[d] = Infinite
+	}
+	t.reachable = 0
+	for _, nbr := range t.nbrs {
+		ld := t.linkDelay[nbr]
+		vec := t.vectors[nbr]
+		for d := 0; d < t.size; d++ {
+			if d == t.Owner {
+				continue
+			}
+			cand := Infinite
+			if d == nbr {
+				cand = ld
+			}
+			if vec != nil && vec[d] < Infinite {
+				if v := ld + vec[d]; v < cand {
+					cand = v
+				}
+			}
+			if cand >= Infinite {
+				continue
+			}
+			switch {
+			case cand < t.delay[d]:
+				if t.next[d] >= 0 && t.next[d] != nbr {
+					t.backup[d], t.bakDelay[d] = t.next[d], t.delay[d]
+				}
+				if t.next[d] < 0 {
+					t.reachable++
+				}
+				t.next[d], t.delay[d] = nbr, cand
+			case nbr != t.next[d] && cand < t.bakDelay[d]:
+				t.backup[d], t.bakDelay[d] = nbr, cand
+			}
+		}
+	}
+}
+
+// Lookup returns the entry toward dest. ok is false when dest is unknown.
+func (t *Table) Lookup(dest int) (Entry, bool) {
+	t.refresh()
+	if dest < 0 || dest >= t.size || t.next[dest] < 0 {
+		return Entry{Dest: dest, Next: -1, Delay: Infinite, Backup: -1, BackupDelay: Infinite}, false
+	}
+	return Entry{
+		Dest:        dest,
+		Next:        t.next[dest],
+		Delay:       t.delay[dest],
+		Backup:      t.backup[dest],
+		BackupDelay: t.bakDelay[dest],
+	}, true
+}
+
+// Delay returns the overall delay toward dest (Infinite when unknown).
+func (t *Table) Delay(dest int) float64 {
+	t.refresh()
+	if dest < 0 || dest >= t.size {
+		return Infinite
+	}
+	return t.delay[dest]
+}
+
+// Entries returns all reachable rows sorted by destination.
+func (t *Table) Entries() []Entry {
+	t.refresh()
+	out := make([]Entry, 0, t.reachable)
+	for d := 0; d < t.size; d++ {
+		if t.next[d] >= 0 {
+			e, _ := t.Lookup(d)
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of reachable destinations.
+func (t *Table) Len() int { t.refresh(); return t.reachable }
+
+// ToVector renders the table as the distance vector this landmark
+// advertises: the overall delay per destination (Infinite = unreachable).
+// The returned slice is shared scratch — callers must copy it to retain it
+// (MergeVector copies).
+func (t *Table) ToVector() []float64 {
+	t.refresh()
+	return t.delay
+}
+
+// NextHops returns a copy of the per-destination next-hop array (-1 =
+// unreachable). Landmarks compare successive copies to decide whether the
+// table materially changed and needs re-advertising — the maintenance-cost
+// saving the paper derives from Fig. 8's stability result.
+func (t *Table) NextHops() []int {
+	t.refresh()
+	return append([]int(nil), t.next...)
+}
+
+// Coverage returns the fraction of the other total-1 landmarks this table
+// can route to — Fig. 8's coverage metric S_r/S_total.
+func (t *Table) Coverage(total int) float64 {
+	t.refresh()
+	if total <= 1 {
+		return 1
+	}
+	return float64(t.reachable) / float64(total-1)
+}
+
+// NextHopChanges counts destinations whose next hop differs between prev
+// and cur (destinations reachable in only one table count as changed) —
+// the numerator of Fig. 8's stability metric.
+func NextHopChanges(prev, cur *Table) int {
+	prev.refresh()
+	cur.refresh()
+	n := prev.size
+	if cur.size < n {
+		n = cur.size
+	}
+	changed := 0
+	for d := 0; d < n; d++ {
+		if prev.next[d] != cur.next[d] {
+			changed++
+		}
+	}
+	return changed
+}
+
+// Snapshot returns a deep copy of the table (used for stability
+// measurements).
+func (t *Table) Snapshot() *Table {
+	t.refresh()
+	cp := NewTable(t.Owner, t.size)
+	copy(cp.linkDelay, t.linkDelay)
+	cp.nbrs = append([]int(nil), t.nbrs...)
+	for n, vec := range t.vectors {
+		cp.vectors[n] = append([]float64(nil), vec...)
+	}
+	for n, s := range t.vectorSeq {
+		cp.vectorSeq[n] = s
+	}
+	copy(cp.next, t.next)
+	copy(cp.delay, t.delay)
+	copy(cp.backup, t.backup)
+	copy(cp.bakDelay, t.bakDelay)
+	cp.reachable = t.reachable
+	return cp
+}
+
+// DetectLoop inspects the landmark path recorded in a packet and, when the
+// last landmark already appears earlier in the path, returns the members of
+// the loop (from the first occurrence to the end, excluding the repeat).
+// This is the trigger of Section IV-E.2: a packet finding it has visited a
+// landmark twice reports the loop and its involved landmarks.
+func DetectLoop(path []int) (members []int, ok bool) {
+	if len(path) < 2 {
+		return nil, false
+	}
+	last := path[len(path)-1]
+	for i := 0; i < len(path)-1; i++ {
+		if path[i] == last {
+			return append([]int(nil), path[i:len(path)-1]...), true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,425 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Config holds the knobs shared by every run; defaults follow the paper's
+// experiment settings (Section V-A.1).
+type Config struct {
+	Seed       int64
+	PacketSize int64      // bytes; paper: 1 kB
+	NodeMemory int64      // bytes per node; paper default: 2000 kB
+	TTL        trace.Time // packet time-to-live
+	Unit       trace.Time // measurement time unit (bandwidth, tables)
+	Warmup     trace.Time // no packets before this offset; paper: 1/4 of trace
+	// LinkRate is the transfer rate between a station and a node in
+	// packets per second; it bounds the per-contact transfer budget.
+	LinkRate float64
+	// MaxContactTransfers caps the budget of a single contact (0 = no cap).
+	MaxContactTransfers int
+}
+
+// DefaultConfig returns the paper's default experiment settings for a
+// trace of the given duration: 1 kB packets, 2000 kB node memory, 1/4
+// warmup.
+func DefaultConfig(traceDuration trace.Time) Config {
+	return Config{
+		Seed:       1,
+		PacketSize: 1024,
+		NodeMemory: 2000 * 1024,
+		TTL:        20 * trace.Day,
+		Unit:       3 * trace.Day,
+		Warmup:     traceDuration / 4,
+		LinkRate:   2,
+	}
+}
+
+// event kinds, in tie-break order at equal timestamps.
+const (
+	evUnit = iota
+	evDepart
+	evGenerate
+	evArrive
+	evTimer
+)
+
+type event struct {
+	t    trace.Time
+	kind int
+	seq  int // insertion sequence for total ordering
+	// payload
+	visit trace.Visit
+	pkt   *Packet
+	unit  int
+	fn    func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Context is the router's interface to the running simulation.
+type Context struct {
+	Trace    *trace.Trace
+	Cfg      Config
+	Nodes    []*Node
+	Stations []*Station
+	Rand     *rand.Rand
+	Metrics  *metrics.Collector
+
+	engine *Engine
+}
+
+// Now returns the current simulation time.
+func (ctx *Context) Now() trace.Time { return ctx.engine.now }
+
+// NumLandmarks returns the number of landmarks.
+func (ctx *Context) NumLandmarks() int { return ctx.Trace.NumLandmarks }
+
+// NodesAt returns the nodes currently connected to landmark lm, in ID
+// order. The slice is freshly allocated.
+func (ctx *Context) NodesAt(lm int) []*Node {
+	var out []*Node
+	for id := range ctx.engine.present[lm] {
+		out = append(out, ctx.Nodes[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Schedule registers fn to run at time t (>= now). Routers use this for
+// protocol timers (dead-end checks, loop-correction periods).
+func (ctx *Context) Schedule(t trace.Time, fn func()) {
+	if t < ctx.engine.now {
+		t = ctx.engine.now
+	}
+	ctx.engine.push(&event{t: t, kind: evTimer, fn: fn})
+}
+
+// chargeBudget consumes one transfer from the contact budget; it reports
+// false when the budget is exhausted. A nil contact (engine-internal
+// transfers) always succeeds.
+func chargeBudget(c *Contact) bool {
+	if c == nil {
+		return true
+	}
+	if c.Budget <= 0 {
+		return false
+	}
+	c.Budget--
+	return true
+}
+
+// expireFromBuffer drops every expired packet from b.
+func (ctx *Context) expireFromBuffer(b *Buffer) {
+	now := ctx.engine.now
+	var expired []*Packet
+	for _, p := range b.Packets() {
+		if p.Expired(now) {
+			expired = append(expired, p)
+		}
+	}
+	for _, p := range expired {
+		b.Remove(p)
+		ctx.dropPacket(p, metrics.DropTTL)
+	}
+}
+
+func (ctx *Context) dropPacket(p *Packet, r metrics.DropReason) {
+	if p.Done() {
+		return
+	}
+	p.dropped = true
+	if p.Created >= ctx.engine.measureFrom {
+		ctx.Metrics.PacketDropped(r)
+	}
+}
+
+// deliverPacket marks p delivered at the current time.
+func (ctx *Context) deliverPacket(p *Packet) {
+	if p.Done() {
+		return
+	}
+	p.delivered = true
+	if p.Created >= ctx.engine.measureFrom {
+		ctx.Metrics.PacketDelivered(ctx.engine.now - p.Created)
+	}
+}
+
+// Upload moves a packet from a node to the station of the landmark it is
+// visiting, counting one forwarding operation. If the landmark is the
+// packet's destination the packet is delivered. It reports whether the
+// transfer happened (budget exhaustion or expiry prevent it).
+func (ctx *Context) Upload(c *Contact, n *Node, p *Packet) bool {
+	if p.Expired(ctx.engine.now) {
+		n.Buffer.Remove(p)
+		ctx.dropPacket(p, metrics.DropTTL)
+		return false
+	}
+	if !chargeBudget(c) {
+		return false
+	}
+	if !n.Buffer.Remove(p) {
+		panic(fmt.Sprintf("sim: upload of %v not held by node %d", p, n.ID))
+	}
+	ctx.Metrics.Forwarded()
+	st := ctx.Stations[n.At]
+	if st.ID == p.Dst && p.DstNode < 0 {
+		ctx.deliverPacket(p)
+		return true
+	}
+	st.Buffer.Add(p)
+	return true
+}
+
+// Download moves a packet from a station to a connected node, counting one
+// forwarding operation. It reports false when the node lacks space, the
+// budget is exhausted, or the packet expired.
+func (ctx *Context) Download(c *Contact, st *Station, n *Node, p *Packet) bool {
+	if p.Expired(ctx.engine.now) {
+		st.Buffer.Remove(p)
+		ctx.dropPacket(p, metrics.DropTTL)
+		return false
+	}
+	if !n.Buffer.Fits(p.Size) {
+		return false
+	}
+	if !chargeBudget(c) {
+		return false
+	}
+	if !st.Buffer.Remove(p) {
+		panic(fmt.Sprintf("sim: download of %v not held by station %d", p, st.ID))
+	}
+	ctx.Metrics.Forwarded()
+	n.Buffer.Add(p)
+	return true
+}
+
+// Relay moves a packet between two co-located nodes (the baselines'
+// node-to-node forwarding), counting one forwarding operation.
+func (ctx *Context) Relay(c *Contact, from, to *Node, p *Packet) bool {
+	if p.Expired(ctx.engine.now) {
+		from.Buffer.Remove(p)
+		ctx.dropPacket(p, metrics.DropTTL)
+		return false
+	}
+	if !to.Buffer.Fits(p.Size) {
+		return false
+	}
+	if !chargeBudget(c) {
+		return false
+	}
+	if !from.Buffer.Remove(p) {
+		panic(fmt.Sprintf("sim: relay of %v not held by node %d", p, from.ID))
+	}
+	ctx.Metrics.Forwarded()
+	to.Buffer.Add(p)
+	return true
+}
+
+// DeliverToNode marks a node-destined packet delivered while held by node
+// n (node-routing mode, Section IV-E.4).
+func (ctx *Context) DeliverToNode(n *Node, p *Packet) {
+	n.Buffer.Remove(p)
+	ctx.deliverPacket(p)
+}
+
+// DeliverFromStation marks a packet held by station st as delivered (used
+// by node-routing mode when the destination node connects).
+func (ctx *Context) DeliverFromStation(st *Station, n *Node, p *Packet) bool {
+	if p.Expired(ctx.engine.now) {
+		st.Buffer.Remove(p)
+		ctx.dropPacket(p, metrics.DropTTL)
+		return false
+	}
+	if !st.Buffer.Remove(p) {
+		return false
+	}
+	ctx.Metrics.Forwarded()
+	ctx.deliverPacket(p)
+	return true
+}
+
+// ExpireBuffers drops expired packets from the given node's buffer and the
+// given station's buffer (either may be nil).
+func (ctx *Context) ExpireBuffers(n *Node, st *Station) {
+	if n != nil {
+		ctx.expireFromBuffer(n.Buffer)
+	}
+	if st != nil {
+		ctx.expireFromBuffer(st.Buffer)
+	}
+}
+
+// Engine runs one simulation.
+type Engine struct {
+	ctx         *Context
+	router      Router
+	workload    *Workload
+	events      eventHeap
+	eventSeq    int
+	now         trace.Time
+	start, end  trace.Time
+	measureFrom trace.Time
+	present     []map[int]bool // landmark -> set of node IDs connected
+	nextUnit    int
+}
+
+// New assembles an engine for one run. The trace must be preprocessed
+// (sorted, validated).
+func New(tr *trace.Trace, r Router, w *Workload, cfg Config) *Engine {
+	start, end := tr.Span()
+	e := &Engine{
+		router:   r,
+		workload: w,
+		start:    start,
+		end:      end,
+	}
+	ctx := &Context{
+		Trace:   tr,
+		Cfg:     cfg,
+		Rand:    rand.New(rand.NewSource(cfg.Seed)),
+		Metrics: &metrics.Collector{},
+		engine:  e,
+	}
+	for i := 0; i < tr.NumNodes; i++ {
+		ctx.Nodes = append(ctx.Nodes, &Node{ID: i, Buffer: NewBuffer(cfg.NodeMemory), At: -1, Prev: -1})
+	}
+	for i := 0; i < tr.NumLandmarks; i++ {
+		ctx.Stations = append(ctx.Stations, &Station{ID: i, Buffer: NewBuffer(0)})
+	}
+	e.ctx = ctx
+	e.present = make([]map[int]bool, tr.NumLandmarks)
+	for i := range e.present {
+		e.present[i] = map[int]bool{}
+	}
+	e.measureFrom = start + cfg.Warmup
+	// Seed the event heap.
+	for _, v := range tr.Visits {
+		e.push(&event{t: v.Start, kind: evArrive, visit: v})
+		e.push(&event{t: v.End, kind: evDepart, visit: v})
+	}
+	if cfg.Unit > 0 {
+		for u, t := 0, start+cfg.Unit; t <= end; u, t = u+1, t+cfg.Unit {
+			e.push(&event{t: t, kind: evUnit, unit: u})
+		}
+	}
+	if w != nil {
+		for _, g := range w.Schedule(ctx.Rand, e.measureFrom, end, tr.NumLandmarks) {
+			pkt := g
+			e.push(&event{t: pkt.Created, kind: evGenerate, pkt: pkt})
+		}
+	}
+	return e
+}
+
+// Context exposes the engine's context (for routers needing setup access
+// before Run, e.g. fault injection in the loop experiment).
+func (e *Engine) Context() *Context { return e.ctx }
+
+func (e *Engine) push(ev *event) {
+	ev.seq = e.eventSeq
+	e.eventSeq++
+	heap.Push(&e.events, ev)
+}
+
+// Run executes the simulation and returns the result. Packets still in
+// flight at the end are counted as failed.
+func (e *Engine) Run() *Result {
+	heap.Init(&e.events)
+	e.router.Init(e.ctx)
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.t
+		switch ev.kind {
+		case evArrive:
+			v := ev.visit
+			n := e.ctx.Nodes[v.Node]
+			n.At = v.Landmark
+			n.VisitStart = v.Start
+			n.VisitEnd = v.End
+			e.present[v.Landmark][v.Node] = true
+			dur := v.End - v.Start
+			budget := int(e.ctx.Cfg.LinkRate * float64(dur))
+			if budget < 1 {
+				budget = 1
+			}
+			if e.ctx.Cfg.MaxContactTransfers > 0 && budget > e.ctx.Cfg.MaxContactTransfers {
+				budget = e.ctx.Cfg.MaxContactTransfers
+			}
+			c := &Contact{Node: n, Landmark: v.Landmark, Start: v.Start, End: v.End, Budget: budget}
+			e.ctx.ExpireBuffers(n, e.ctx.Stations[v.Landmark])
+			e.router.OnContact(e.ctx, c)
+		case evDepart:
+			v := ev.visit
+			n := e.ctx.Nodes[v.Node]
+			delete(e.present[v.Landmark], v.Node)
+			e.router.OnDepart(e.ctx, n, v.Landmark)
+			if n.At == v.Landmark {
+				n.At = -1
+				n.Prev = v.Landmark
+				n.PrevDepart = v.End
+			}
+		case evGenerate:
+			p := ev.pkt
+			if p.Created >= e.measureFrom {
+				e.ctx.Metrics.PacketGenerated()
+			}
+			if p.Src == p.Dst && p.DstNode < 0 {
+				e.ctx.deliverPacket(p)
+				continue
+			}
+			e.ctx.Stations[p.Src].Buffer.Add(p)
+			p.Path = append(p.Path, p.Src)
+			e.router.OnGenerate(e.ctx, p)
+		case evUnit:
+			e.nextUnit = ev.unit + 1
+			e.router.OnTimeUnit(e.ctx, ev.unit)
+		case evTimer:
+			ev.fn()
+		}
+	}
+	// Account packets still in flight.
+	for _, n := range e.ctx.Nodes {
+		for _, p := range append([]*Packet(nil), n.Buffer.Packets()...) {
+			e.ctx.dropPacket(p, metrics.DropEnd)
+		}
+	}
+	for _, st := range e.ctx.Stations {
+		for _, p := range append([]*Packet(nil), st.Buffer.Packets()...) {
+			e.ctx.dropPacket(p, metrics.DropEnd)
+		}
+	}
+	dur := e.end - e.measureFrom
+	return &Result{
+		Summary:  e.ctx.Metrics.Summarize(e.router.Name(), dur),
+		Raw:      e.ctx.Metrics,
+		Duration: dur,
+	}
+}

@@ -1,0 +1,172 @@
+// Package sim provides the deterministic trace-driven discrete-event
+// engine every router in this repository runs on. The trace defines
+// connectivity: a node is connected to a landmark's central station for the
+// duration of each visit, and two nodes are in contact while visiting the
+// same landmark (Section III-A). Routers plug in through the Router
+// interface and move packets with the Context transfer primitives, which
+// enforce node memory limits and account the paper's cost metrics.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Packet is a single-copy data packet routed between landmarks
+// (Section III-A.2). Routers annotate NextHop/ExpDelay (DTN-FLOW) and Path
+// (loop detection); other routers may ignore them.
+type Packet struct {
+	ID      int
+	Src     int // source landmark
+	Dst     int // destination landmark
+	DstNode int // destination node for node-routing mode; -1 otherwise
+	Size    int64
+	Created trace.Time
+	Expiry  trace.Time // Created + TTL
+
+	// NextHop is the landmark the current carrier is expected to bring
+	// the packet to; -1 when unset.
+	NextHop int
+	// ExpDelay is the expected overall delay (seconds) from the landmark
+	// that last forwarded the packet to its destination, inserted per
+	// step 3 of the routing algorithm. Infinite when unset.
+	ExpDelay float64
+	// Path records the landmarks whose stations have held the packet, in
+	// order, for routing-loop detection (Section IV-E.2).
+	Path []int
+
+	delivered bool
+	dropped   bool
+}
+
+// Remaining returns the remaining TTL at time now (can be negative).
+func (p *Packet) Remaining(now trace.Time) trace.Time { return p.Expiry - now }
+
+// Expired reports whether the packet's TTL has passed at time now.
+func (p *Packet) Expired(now trace.Time) bool { return now >= p.Expiry }
+
+// Done reports whether the packet has left the system.
+func (p *Packet) Done() bool { return p.delivered || p.dropped }
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %d->%d", p.ID, p.Src, p.Dst)
+}
+
+// Buffer is an ordered packet store with a byte capacity. Stations use an
+// unlimited buffer (capacity <= 0); nodes use their memory size.
+type Buffer struct {
+	Capacity int64 // bytes; <= 0 means unlimited
+	used     int64
+	packets  []*Packet
+}
+
+// NewBuffer returns a buffer with the given capacity.
+func NewBuffer(capacity int64) *Buffer { return &Buffer{Capacity: capacity} }
+
+// Used returns the bytes currently stored.
+func (b *Buffer) Used() int64 { return b.used }
+
+// Free returns the free bytes, or a very large value when unlimited.
+func (b *Buffer) Free() int64 {
+	if b.Capacity <= 0 {
+		return 1 << 62
+	}
+	return b.Capacity - b.used
+}
+
+// Len returns the number of stored packets.
+func (b *Buffer) Len() int { return len(b.packets) }
+
+// Fits reports whether a packet of the given size fits.
+func (b *Buffer) Fits(size int64) bool { return b.Capacity <= 0 || b.used+size <= b.Capacity }
+
+// Add stores p. It reports false (and does not store) when p does not fit.
+func (b *Buffer) Add(p *Packet) bool {
+	if !b.Fits(p.Size) {
+		return false
+	}
+	b.packets = append(b.packets, p)
+	b.used += p.Size
+	return true
+}
+
+// Remove deletes p from the buffer, reporting whether it was present.
+func (b *Buffer) Remove(p *Packet) bool {
+	for i, q := range b.packets {
+		if q == p {
+			b.packets = append(b.packets[:i], b.packets[i+1:]...)
+			b.used -= p.Size
+			return true
+		}
+	}
+	return false
+}
+
+// Packets returns the stored packets in insertion order. The caller must
+// not mutate the returned slice; it is invalidated by Add/Remove.
+func (b *Buffer) Packets() []*Packet { return b.packets }
+
+// Node is one mobile device.
+type Node struct {
+	ID     int
+	Buffer *Buffer
+
+	// At is the landmark the node is currently visiting, or -1.
+	At int
+	// VisitStart/VisitEnd bound the current (or last) visit.
+	VisitStart, VisitEnd trace.Time
+	// Prev is the landmark of the previous (different) visit, or -1; nodes
+	// report it on arrival for bandwidth measurement (Section IV-C.1).
+	Prev int
+	// PrevDepart is when the node left Prev.
+	PrevDepart trace.Time
+}
+
+// Station is the central station of one landmark: a static node with high
+// storage and processing capacity (Section III-A.1). Its buffer is
+// unlimited, matching the experiment settings ("the memory of the landmark
+// was not limited").
+type Station struct {
+	ID     int // landmark index
+	Buffer *Buffer
+}
+
+// Contact describes one node-landmark association being processed. Budget
+// is the remaining number of packet transfers allowed during this contact
+// (derived from the contact duration and the link rate); every transfer
+// primitive decrements it.
+type Contact struct {
+	Node     *Node
+	Landmark int
+	Start    trace.Time
+	End      trace.Time
+	Budget   int
+}
+
+// Router is a DTN routing algorithm under test.
+type Router interface {
+	// Name identifies the algorithm in result tables.
+	Name() string
+	// Init is called once before the run starts.
+	Init(ctx *Context)
+	// OnContact is called when a node connects to a landmark station.
+	// The router performs its uploads, downloads and peer exchanges here.
+	OnContact(ctx *Context, c *Contact)
+	// OnDepart is called when a node's visit ends.
+	OnDepart(ctx *Context, n *Node, landmark int)
+	// OnGenerate is called when a new packet appears at its source
+	// landmark's station (already stored there by the engine).
+	OnGenerate(ctx *Context, p *Packet)
+	// OnTimeUnit is called at every measurement time-unit boundary with
+	// the sequence number of the completed unit (starting at 0).
+	OnTimeUnit(ctx *Context, seq int)
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Summary  metrics.Summary
+	Raw      *metrics.Collector
+	Duration trace.Time // simulated span from warmup end to trace end
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Workload describes packet generation (Section V-A.1): packets appear at
+// landmark stations with random destination landmarks, at a configured
+// rate.
+type Workload struct {
+	// Rate is the number of packets per day. When PerLandmark is false it
+	// is network-wide (random source landmark); when true, every landmark
+	// generates Rate packets per day evenly spread over the daytime, as
+	// in the campus deployment ("each landmark generates 75 packets evenly
+	// in the daytime each day").
+	Rate        float64
+	PerLandmark bool
+	// DaytimeOnly restricts generation to 08:00–20:00.
+	DaytimeOnly bool
+	PacketSize  int64
+	TTL         trace.Time
+	// FixedDst routes every packet to this landmark; -1 draws uniformly.
+	FixedDst int
+	// FixedSrc generates every packet at this landmark; -1 draws
+	// uniformly (ignored when PerLandmark).
+	FixedSrc int
+	// DstNodes, when non-nil, addresses each packet to a random node from
+	// the slice instead of a landmark (Section IV-E.4 node-routing mode).
+	DstNodes []int
+}
+
+// NewWorkload returns a network-wide workload with uniform random sources
+// and destinations.
+func NewWorkload(ratePerDay float64, pktSize int64, ttl trace.Time) *Workload {
+	return &Workload{Rate: ratePerDay, PacketSize: pktSize, TTL: ttl, FixedDst: -1, FixedSrc: -1}
+}
+
+// Schedule materialises the packet arrivals in [from, to). Packets are
+// evenly spaced with small jitter so results are stable across seeds at
+// equal rates; the destination (and source) draws use rng.
+func (w *Workload) Schedule(rng *rand.Rand, from, to trace.Time, numLandmarks int) []*Packet {
+	if w.Rate <= 0 || to <= from || numLandmarks == 0 {
+		return nil
+	}
+	var pkts []*Packet
+	id := 0
+	newPacket := func(t trace.Time, src int) {
+		dst := w.FixedDst
+		for dst < 0 || dst == src {
+			dst = rng.Intn(numLandmarks)
+			if numLandmarks == 1 {
+				break
+			}
+		}
+		dstNode := -1
+		if len(w.DstNodes) > 0 {
+			dstNode = w.DstNodes[rng.Intn(len(w.DstNodes))]
+		}
+		pkts = append(pkts, &Packet{
+			ID:       id,
+			Src:      src,
+			Dst:      dst,
+			DstNode:  dstNode,
+			Size:     w.PacketSize,
+			Created:  t,
+			Expiry:   t + w.TTL,
+			NextHop:  -1,
+			ExpDelay: 1e308,
+		})
+		id++
+	}
+	genTimes := func() []trace.Time {
+		firstDay := int(from / trace.Day)
+		lastDay := int(to / trace.Day)
+		perDay := w.Rate
+		var ts []trace.Time
+		for d := firstDay; d <= lastDay; d++ {
+			base := trace.Time(d) * trace.Day
+			lo, hi := base, base+trace.Day
+			if w.DaytimeOnly {
+				lo, hi = base+8*trace.Hour, base+20*trace.Hour
+			}
+			if lo < from {
+				lo = from
+			}
+			if hi > to {
+				hi = to
+			}
+			n := int(perDay)
+			if rng.Float64() < perDay-float64(n) {
+				n++
+			}
+			if n <= 0 || hi <= lo {
+				continue
+			}
+			step := (hi - lo) / trace.Time(n)
+			if step < 1 {
+				step = 1
+			}
+			for i := 0; i < n; i++ {
+				t := lo + trace.Time(i)*step + trace.Time(rng.Int63n(int64(step)))
+				if t < to {
+					ts = append(ts, t)
+				}
+			}
+		}
+		return ts
+	}
+	if w.PerLandmark {
+		for src := 0; src < numLandmarks; src++ {
+			if src == w.FixedDst {
+				continue // the sink does not send to itself
+			}
+			for _, t := range genTimes() {
+				newPacket(t, src)
+			}
+		}
+	} else {
+		for _, t := range genTimes() {
+			src := w.FixedSrc
+			if src < 0 {
+				src = rng.Intn(numLandmarks)
+			}
+			newPacket(t, src)
+		}
+	}
+	sort.Slice(pkts, func(i, j int) bool {
+		if pkts[i].Created != pkts[j].Created {
+			return pkts[i].Created < pkts[j].Created
+		}
+		return pkts[i].ID < pkts[j].ID
+	})
+	for i, p := range pkts {
+		p.ID = i
+	}
+	return pkts
+}

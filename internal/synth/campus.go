@@ -1,0 +1,101 @@
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// CampusConfig parameterises the reproduction of the paper's real
+// deployment (Section V-C): nine students from four departments carrying
+// phones among eight building landmarks. Landmark roles follow the paper:
+// L1 (index 0) is the library; L2, L4, L5, L6 (indices 1, 3, 4, 5) are
+// department buildings; L3, L7, L8 (indices 2, 6, 7) are the student
+// center and dining halls.
+type CampusConfig struct {
+	Seed       int64
+	Nodes      int
+	Days       int
+	FollowProb float64
+}
+
+// DefaultCampus matches the deployment: 9 nodes, 8 landmarks, 14 days.
+func DefaultCampus() CampusConfig {
+	return CampusConfig{Seed: 3, Nodes: 9, Days: 14, FollowProb: 0.85}
+}
+
+// Campus landmark indices, named as in the paper's Fig. 15.
+const (
+	CampusL1        = iota // library (the data sink in Fig. 16)
+	CampusL2               // department building
+	CampusL3               // student center
+	CampusL4               // department building
+	CampusL5               // department building
+	CampusL6               // department building
+	CampusL7               // dining hall
+	CampusL8               // dining hall
+	CampusLandmarks        // = 8
+)
+
+// Campus generates the deployment trace. Most participants are from the
+// departments in L2 and L5; they study in the library and attend classes in
+// their department buildings, which concentrates bandwidth on the L1↔L2 and
+// L1↔L5 links as reported with Fig. 16(b).
+func Campus(cfg CampusConfig) *trace.Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Hand-placed positions echoing the relative layout of Fig. 15(a).
+	pos := []geo.Point{
+		{X: 500, Y: 500}, // L1 library, central
+		{X: 300, Y: 650}, // L2
+		{X: 700, Y: 620}, // L3 student center
+		{X: 180, Y: 380}, // L4
+		{X: 420, Y: 220}, // L5
+		{X: 760, Y: 300}, // L6
+		{X: 600, Y: 800}, // L7
+		{X: 900, Y: 520}, // L8
+	}
+	// Department of each student: nodes 0-3 in L2, 4-6 in L5, 7 in L4,
+	// 8 in L6 (four departments, skewed toward L2/L5).
+	depts := []int{CampusL2, CampusL2, CampusL2, CampusL2, CampusL5, CampusL5, CampusL5, CampusL4, CampusL6}
+	dining := []int{CampusL3, CampusL7, CampusL8}
+
+	var visits []trace.Visit
+	end := trace.Time(cfg.Days) * trace.Day
+	for n := 0; n < cfg.Nodes && n < len(depts); n++ {
+		d := depts[n]
+		eat := dining[rng.Intn(len(dining))]
+		cycle := []int{d, CampusL1, d, eat, CampusL1}
+		extras := []int{d, CampusL1, eat, dining[rng.Intn(len(dining))]}
+		rt := &routine{cycle: cycle}
+		cur := d
+		t := trace.Time(8*trace.Hour) + trace.Time(rng.Intn(int(trace.Hour)))
+		for t < end {
+			sod := secondOfDay(t)
+			if sod < 8*trace.Hour || sod > 20*trace.Hour {
+				// Off campus overnight: jump to next morning, no record.
+				morning := trace.Time(dayOf(t))*trace.Day + 8*trace.Hour
+				if sod > 20*trace.Hour {
+					morning += trace.Day
+				}
+				t = morning + trace.Time(rng.Intn(int(trace.Hour)))
+				cur = d
+				rt.pos = 0
+				continue
+			}
+			dwell := clampTime(trace.Time(logNormal(rng, float64(70*trace.Minute), 0.5)), 15*trace.Minute, 4*trace.Hour)
+			vEnd := t + dwell
+			if vEnd > end {
+				vEnd = end
+			}
+			visits = append(visits, trace.Visit{Node: n, Landmark: cur, Start: t, End: vEnd})
+			if vEnd >= end {
+				break
+			}
+			next := rt.next(rng, cfg.FollowProb, extras, cur)
+			t = vEnd + travelTime(rng, pos[cur], pos[next], 1.4)
+			cur = next
+		}
+	}
+	return buildTrace("CAMPUS", cfg.Nodes, pos, visits)
+}

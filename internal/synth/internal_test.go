@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+func TestRoutineFollowsCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rt := &routine{cycle: []int{0, 1, 2}}
+	cur := 0
+	// With follow probability 1 the walker traverses the cycle exactly.
+	want := []int{1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		next := rt.next(rng, 1.0, nil, cur)
+		if next != w {
+			t.Fatalf("step %d = %d, want %d", i, next, w)
+		}
+		cur = next
+	}
+}
+
+func TestRoutineNeverReturnsCurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rt := &routine{cycle: []int{0, 1, 0, 2}}
+	cur := 1
+	for i := 0; i < 200; i++ {
+		next := rt.next(rng, 0.5, []int{0, 1, 2, 3}, cur)
+		if next == cur {
+			t.Fatalf("step %d returned the current landmark", i)
+		}
+		cur = next
+	}
+}
+
+func TestDedupeCycle(t *testing.T) {
+	cases := []struct {
+		in, want []int
+	}{
+		{[]int{0, 0, 1, 1, 2}, []int{0, 1, 2}},
+		{[]int{0, 1, 0}, []int{0, 1}}, // wrap duplicate trimmed
+		{[]int{3}, []int{3}},
+	}
+	for _, c := range cases {
+		got := dedupeCycle(append([]int(nil), c.in...))
+		if len(got) != len(c.want) {
+			t.Errorf("dedupe(%v) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("dedupe(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestScatterPointsSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := scatterPoints(rng, 30, 1000, 1000, 50)
+	if len(pts) != 30 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Best-effort separation: the big majority of pairs must respect it.
+	viol := 0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if geo.Dist(pts[i], pts[j]) < 50 {
+				viol++
+			}
+		}
+	}
+	if viol > 3 {
+		t.Errorf("%d pairs closer than the separation distance", viol)
+	}
+}
+
+func TestClampTime(t *testing.T) {
+	if clampTime(5, 10, 20) != 10 || clampTime(25, 10, 20) != 20 || clampTime(15, 10, 20) != 15 {
+		t.Error("clampTime wrong")
+	}
+}
+
+func TestTravelTimeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		d := travelTime(rng, geo.Point{}, geo.Point{X: 1000}, 1.4)
+		if d < trace.Minute || d > 2*trace.Hour {
+			t.Fatalf("travel time %v out of bounds", d)
+		}
+	}
+	// Zero speed falls back to walking pace instead of dividing by zero.
+	if d := travelTime(rng, geo.Point{}, geo.Point{X: 100}, 0); d <= 0 {
+		t.Error("zero-speed travel time not clamped")
+	}
+}
+
+func TestDayHelpers(t *testing.T) {
+	if dayOf(3*trace.Day+5) != 3 {
+		t.Error("dayOf wrong")
+	}
+	if secondOfDay(2*trace.Day+7) != 7 {
+		t.Error("secondOfDay wrong")
+	}
+	// Day 0 is a Monday; days 5 and 6 are the weekend.
+	if isWeekend(4) || !isWeekend(5) || !isWeekend(6) || isWeekend(7) {
+		t.Error("isWeekend wrong")
+	}
+}
+
+func TestDARTIdleDaysPresent(t *testing.T) {
+	tr := DART(DefaultDART())
+	// With IdleDayProb > 0 some visits last longer than 24 hours (the
+	// dead-end material for Table VI).
+	long := 0
+	for _, v := range tr.Visits {
+		if v.Duration() > 24*trace.Hour {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Error("no multi-day idle stays generated")
+	}
+}
+
+func TestDNETGarageEventsPresent(t *testing.T) {
+	tr := DNET(DefaultDNET())
+	long := 0
+	for _, v := range tr.Visits {
+		if v.Duration() > 30*trace.Hour {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Error("no garage stays generated")
+	}
+}

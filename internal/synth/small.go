@@ -1,0 +1,92 @@
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// SmallConfig parameterises a compact routine-based trace for tests,
+// examples and benchmarks: the same mobility model as the DART generator
+// but without diurnal structure, holidays or record loss unless asked for.
+type SmallConfig struct {
+	Seed       int64
+	Nodes      int
+	Landmarks  int
+	Days       int
+	CycleLen   int     // routine length per node (>= 2)
+	FollowProb float64 // probability of following the routine
+	MissProb   float64 // probability a visit record is lost
+	MeanDwell  trace.Time
+	Area       float64 // side of the square area in meters
+}
+
+// DefaultSmall returns a 20-node, 8-landmark, 10-day configuration that
+// runs in milliseconds.
+func DefaultSmall() SmallConfig {
+	return SmallConfig{
+		Seed:       7,
+		Nodes:      20,
+		Landmarks:  8,
+		Days:       10,
+		CycleLen:   4,
+		FollowProb: 0.85,
+		MeanDwell:  45 * trace.Minute,
+		Area:       1500,
+	}
+}
+
+// Small generates the compact trace.
+func Small(cfg SmallConfig) *trace.Trace {
+	if cfg.CycleLen < 2 {
+		cfg.CycleLen = 2
+	}
+	if cfg.MeanDwell <= 0 {
+		cfg.MeanDwell = 45 * trace.Minute
+	}
+	if cfg.Area <= 0 {
+		cfg.Area = 1500
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pos := scatterPoints(rng, cfg.Landmarks, cfg.Area, cfg.Area, 40)
+
+	var visits []trace.Visit
+	end := trace.Time(cfg.Days) * trace.Day
+	for n := 0; n < cfg.Nodes; n++ {
+		// A routine over a small personal subset anchored at a home
+		// landmark shared within the node's community.
+		home := n % cfg.Landmarks
+		cycle := []int{home}
+		for len(cycle) < cfg.CycleLen {
+			c := rng.Intn(cfg.Landmarks)
+			if c != cycle[len(cycle)-1] {
+				cycle = append(cycle, c)
+			}
+		}
+		if cycle[len(cycle)-1] == cycle[0] && len(cycle) > 2 {
+			cycle = cycle[:len(cycle)-1]
+		}
+		extras := append([]int(nil), cycle...)
+		extras = append(extras, rng.Intn(cfg.Landmarks))
+		rt := &routine{cycle: cycle}
+		cur := home
+		t := trace.Time(rng.Intn(int(trace.Hour)))
+		for t < end {
+			dwell := clampTime(trace.Time(logNormal(rng, float64(cfg.MeanDwell), 0.5)), 5*trace.Minute, 6*trace.Hour)
+			vEnd := t + dwell
+			if vEnd > end {
+				vEnd = end
+			}
+			if rng.Float64() >= cfg.MissProb {
+				visits = append(visits, trace.Visit{Node: n, Landmark: cur, Start: t, End: vEnd})
+			}
+			if vEnd >= end {
+				break
+			}
+			next := rt.next(rng, cfg.FollowProb, extras, cur)
+			t = vEnd + travelTime(rng, pos[cur], pos[next], 1.4)
+			cur = next
+		}
+	}
+	return buildTrace("SMALL", cfg.Nodes, pos, visits)
+}

@@ -1,0 +1,200 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/predict"
+	"repro/internal/trace"
+)
+
+// The generator tests assert the paper's observations O1–O4 and the Fig. 6
+// prediction structure emerge from the mobility models, since the whole
+// evaluation rests on them.
+
+func TestGeneratedTracesAreValid(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"DART", DART(DefaultDART())},
+		{"DNET", DNET(DefaultDNET())},
+		{"CAMPUS", Campus(DefaultCampus())},
+		{"SMALL", Small(DefaultSmall())},
+	} {
+		if err := tc.tr.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		c := tc.tr.Summarize()
+		if c.NumVisits == 0 || c.NumTransits == 0 {
+			t.Errorf("%s: empty trace %v", tc.name, c)
+		}
+	}
+}
+
+func TestDARTDimensionsMatchPaper(t *testing.T) {
+	tr := DART(DefaultDART())
+	if tr.NumNodes != 320 || tr.NumLandmarks != 159 {
+		t.Errorf("dims = %d nodes, %d landmarks; paper: 320, 159", tr.NumNodes, tr.NumLandmarks)
+	}
+	if d := tr.Duration(); d < 115*trace.Day || d > 121*trace.Day {
+		t.Errorf("duration = %v days; paper: ~119", float64(d)/float64(trace.Day))
+	}
+}
+
+func TestDNETDimensionsMatchPaper(t *testing.T) {
+	tr := DNET(DefaultDNET())
+	if tr.NumNodes != 34 || tr.NumLandmarks != 18 {
+		t.Errorf("dims = %d nodes, %d landmarks; paper: 34, 18", tr.NumNodes, tr.NumLandmarks)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := DART(DefaultDART())
+	b := DART(DefaultDART())
+	if len(a.Visits) != len(b.Visits) {
+		t.Fatal("same seed produced different traces")
+	}
+	for i := range a.Visits {
+		if a.Visits[i] != b.Visits[i] {
+			t.Fatalf("visit %d differs", i)
+		}
+	}
+}
+
+// O1: for each of the top-visited landmarks, only a small portion of nodes
+// visit it frequently.
+func TestObservationO1(t *testing.T) {
+	tr := DART(DefaultDART())
+	for _, lm := range trace.TopLandmarks(tr, 5) {
+		dist := trace.VisitingDistribution(tr, lm)
+		frequent := 0
+		for _, v := range dist {
+			if dist[0] > 0 && v*5 >= dist[0] { // within 20% of the top visitor
+				frequent++
+			}
+		}
+		if frac := float64(frequent) / float64(tr.NumNodes); frac > 0.25 {
+			t.Errorf("landmark %d: %.0f%% of nodes are frequent visitors; O1 expects a small portion",
+				lm, frac*100)
+		}
+	}
+}
+
+// O2: a small portion of transit links carries high bandwidth.
+func TestObservationO2(t *testing.T) {
+	tr := DART(DefaultDART())
+	bws := trace.Bandwidths(tr, 3*trace.Day)
+	if len(bws) < 20 {
+		t.Skip("too few links")
+	}
+	top := bws[len(bws)/20].Bandwidth // 95th percentile
+	med := bws[len(bws)/2].Bandwidth
+	if med <= 0 || top/med < 5 {
+		t.Errorf("top5%%/median bandwidth = %.1f, want a heavy head (O2)", top/med)
+	}
+}
+
+// O3: matching transit links are near-symmetric in bandwidth.
+func TestObservationO3(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *trace.Trace
+		unit trace.Time
+		min  float64
+	}{
+		{"DART", DART(DefaultDART()), 3 * trace.Day, 0.5},
+		{"DNET", DNET(DefaultDNET()), trace.Day / 2, 0.6},
+	} {
+		sym := trace.MatchingSymmetry(tc.tr, tc.unit)
+		if len(sym) == 0 {
+			t.Fatalf("%s: no matching pairs", tc.name)
+		}
+		if med := sym[len(sym)/2]; med < tc.min {
+			t.Errorf("%s: median symmetry %.2f < %.2f (O3)", tc.name, med, tc.min)
+		}
+	}
+}
+
+// O4 + Fig. 4(a): DART bandwidth is stable around its mean except the two
+// holiday windows, which show a clear dip.
+func TestHolidayDip(t *testing.T) {
+	tr := DART(DefaultDART())
+	bws := trace.Bandwidths(tr, 3*trace.Day)
+	s := trace.BandwidthSeries(tr, bws[0].Link, 3*trace.Day)
+	holidays := defaultHolidays()
+	inHoliday := func(u int) bool {
+		day := u * 3
+		for _, h := range holidays {
+			if day >= h[0] && day <= h[1] {
+				return true
+			}
+		}
+		return false
+	}
+	var hSum, hN, nSum, nN float64
+	for u, v := range s {
+		if inHoliday(u) {
+			hSum += v
+			hN++
+		} else {
+			nSum += v
+			nN++
+		}
+	}
+	if hN == 0 || nN == 0 {
+		t.Skip("series does not cover holidays")
+	}
+	if hSum/hN > 0.5*(nSum/nN) {
+		t.Errorf("holiday bandwidth %.1f not clearly below normal %.1f", hSum/hN, nSum/nN)
+	}
+}
+
+// Fig. 6: order-1 prediction beats orders 2 and 3 on both traces, and DART
+// accuracy exceeds DNET accuracy.
+func TestFig6PredictionStructure(t *testing.T) {
+	accs := map[string][3]float64{}
+	for _, tc := range []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"DART", DART(DefaultDART())},
+		{"DNET", DNET(DefaultDNET())},
+	} {
+		seqs := tc.tr.LandmarkSequences()
+		var a [3]float64
+		for k := 1; k <= 3; k++ {
+			a[k-1], _ = predict.EvaluateAll(k, seqs)
+		}
+		accs[tc.name] = a
+		if !(a[0] > a[1] && a[1] > a[2]) {
+			t.Errorf("%s: accuracies %v; paper: order-1 best", tc.name, a)
+		}
+	}
+	if accs["DART"][0] <= accs["DNET"][0] {
+		t.Errorf("DART order-1 %.3f should exceed DNET %.3f (Fig. 6)",
+			accs["DART"][0], accs["DNET"][0])
+	}
+	if accs["DART"][0] < 0.6 || accs["DART"][0] > 0.9 {
+		t.Errorf("DART accuracy %.3f outside the paper's ballpark (~0.77)", accs["DART"][0])
+	}
+}
+
+func TestCampusRoles(t *testing.T) {
+	tr := Campus(DefaultCampus())
+	if tr.NumNodes != 9 || tr.NumLandmarks != CampusLandmarks {
+		t.Fatalf("dims = %d, %d", tr.NumNodes, tr.NumLandmarks)
+	}
+	// The library ranks among the top visited landmarks.
+	top := trace.TopLandmarks(tr, 2)
+	if top[0] != CampusL1 && top[1] != CampusL1 {
+		t.Errorf("library not among top-2 visited: %v", top)
+	}
+}
+
+func TestSmallConfigClamps(t *testing.T) {
+	cfg := SmallConfig{Seed: 1, Nodes: 3, Landmarks: 3, Days: 1, CycleLen: 0}
+	tr := Small(cfg)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

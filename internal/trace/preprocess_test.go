@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestPreprocessMergeNeighbouring(t *testing.T) {
+	tr := mkTrace(
+		Visit{Node: 0, Landmark: 0, Start: 0, End: 10},
+		Visit{Node: 0, Landmark: 0, Start: 12, End: 20}, // gap 2 <= 5: merged
+		Visit{Node: 0, Landmark: 0, Start: 40, End: 50}, // gap 20 > 5: kept
+	)
+	out := Preprocess(tr, PreprocessOptions{MergeGap: 5})
+	if len(out.Visits) != 2 {
+		t.Fatalf("visits = %d, want 2 (%+v)", len(out.Visits), out.Visits)
+	}
+	if out.Visits[0].Start != 0 || out.Visits[0].End != 20 {
+		t.Errorf("merged visit = %+v", out.Visits[0])
+	}
+}
+
+func TestPreprocessMinVisit(t *testing.T) {
+	tr := mkTrace(
+		Visit{Node: 0, Landmark: 0, Start: 0, End: 100},
+		Visit{Node: 0, Landmark: 1, Start: 150, End: 160}, // 10 s: dropped
+		Visit{Node: 0, Landmark: 0, Start: 200, End: 320},
+	)
+	out := Preprocess(tr, PreprocessOptions{MergeGap: -1, MinVisit: 50})
+	if len(out.Visits) != 2 {
+		t.Fatalf("visits = %d, want 2", len(out.Visits))
+	}
+	for _, v := range out.Visits {
+		if v.Duration() < 50 {
+			t.Errorf("short visit kept: %+v", v)
+		}
+	}
+}
+
+func TestPreprocessMinRecords(t *testing.T) {
+	var visits []Visit
+	// Node 0: 5 visits; node 1: 2 visits.
+	for i := 0; i < 5; i++ {
+		visits = append(visits, Visit{Node: 0, Landmark: 0, Start: Time(i * 100), End: Time(i*100 + 50)})
+	}
+	for i := 0; i < 2; i++ {
+		visits = append(visits, Visit{Node: 1, Landmark: 1, Start: Time(i * 100), End: Time(i*100 + 50)})
+	}
+	out := Preprocess(mkTrace(visits...), PreprocessOptions{MergeGap: -1, MinRecords: 3})
+	if out.NumNodes != 1 {
+		t.Fatalf("NumNodes = %d, want 1 (sparse node dropped, dense reindexed)", out.NumNodes)
+	}
+	for _, v := range out.Visits {
+		if v.Node != 0 {
+			t.Errorf("unexpected node %d", v.Node)
+		}
+	}
+}
+
+func TestPreprocessMergeLandmarksByDistance(t *testing.T) {
+	tr := mkTrace(
+		Visit{Node: 0, Landmark: 0, Start: 0, End: 10},
+		Visit{Node: 0, Landmark: 1, Start: 20, End: 30}, // 1 is 100 m from 0: merged into 0
+		Visit{Node: 0, Landmark: 2, Start: 40, End: 50}, // far away: kept
+	)
+	tr.Positions = []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 5000, Y: 0}}
+	out := Preprocess(tr, PreprocessOptions{MergeGap: 0, MergeDistance: 1500})
+	if out.NumLandmarks != 2 {
+		t.Fatalf("NumLandmarks = %d, want 2", out.NumLandmarks)
+	}
+	// The two visits to merged landmark 0/1 become consecutive same-landmark
+	// visits with a 10 s gap, merged only when the gap allows; here gap 10 > 0,
+	// so both remain but on the same landmark.
+	seq := out.LandmarkSequences()[0]
+	if len(seq) != 2 {
+		t.Fatalf("sequence = %v, want 2 distinct landmarks", seq)
+	}
+}
+
+func TestPreprocessMinLandmarkVisits(t *testing.T) {
+	var visits []Visit
+	for i := 0; i < 10; i++ {
+		visits = append(visits, Visit{Node: 0, Landmark: 0, Start: Time(i * 200), End: Time(i*200 + 20)})
+	}
+	visits = append(visits, Visit{Node: 0, Landmark: 1, Start: 5000, End: 5020})
+	out := Preprocess(mkTrace(visits...), PreprocessOptions{MergeGap: -1, MinLandmarkVisits: 5})
+	if out.NumLandmarks != 1 {
+		t.Fatalf("NumLandmarks = %d, want 1", out.NumLandmarks)
+	}
+}
+
+func TestPreprocessReindexDense(t *testing.T) {
+	tr := &Trace{NumNodes: 10, NumLandmarks: 10, Visits: []Visit{
+		{Node: 7, Landmark: 9, Start: 0, End: 10},
+		{Node: 3, Landmark: 2, Start: 5, End: 15},
+	}}
+	tr.SortVisits()
+	out := Preprocess(tr, PreprocessOptions{MergeGap: -1})
+	if out.NumNodes != 2 || out.NumLandmarks != 2 {
+		t.Fatalf("dims = %d nodes, %d landmarks; want 2, 2", out.NumNodes, out.NumLandmarks)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
