@@ -34,6 +34,13 @@ type Method interface {
 // Base adapts a Method into a sim.Router.
 type Base struct {
 	m Method
+
+	// Reusable scratch buffers for the per-contact hot paths. Each engine
+	// owns its router, so per-router scratch is race-free.
+	dueScratch  []*sim.Packet
+	moveScratch []*sim.Packet
+	freeScratch []*sim.Node
+	pktScratch  []*sim.Packet
 }
 
 var _ sim.Router = (*Base)(nil)
@@ -66,7 +73,7 @@ func (b *Base) OnContact(ctx *sim.Context, c *sim.Contact) {
 	b.m.OnVisit(ctx, n, lm)
 
 	// 1. Delivery: upload every packet destined to this landmark.
-	var due []*sim.Packet
+	due := b.dueScratch[:0]
 	for _, p := range n.Buffer.Packets() {
 		if p.Dst == lm {
 			due = append(due, p)
@@ -75,6 +82,7 @@ func (b *Base) OnContact(ctx *sim.Context, c *sim.Contact) {
 	for _, p := range due {
 		ctx.Upload(c, n, p)
 	}
+	b.dueScratch = due[:0]
 
 	// 2. Source handoff: the station gives waiting packets to the
 	// best-scoring connected carrier.
@@ -99,7 +107,7 @@ func (b *Base) OnContact(ctx *sim.Context, c *sim.Contact) {
 // higher for the packet's destination.
 func (b *Base) exchange(ctx *sim.Context, c *sim.Contact, from, to *sim.Node) {
 	now := ctx.Now()
-	var moving []*sim.Packet
+	moving := b.moveScratch[:0]
 	for _, p := range from.Buffer.Packets() {
 		rem := p.Remaining(now)
 		sf := b.m.Score(ctx, from.ID, p.Dst, rem)
@@ -115,6 +123,7 @@ func (b *Base) exchange(ctx *sim.Context, c *sim.Contact, from, to *sim.Node) {
 		}
 		ctx.Relay(cc, from, to, p)
 	}
+	b.moveScratch = moving[:0]
 }
 
 // stationHandoff moves station packets to the best-scoring connected node.
@@ -123,22 +132,25 @@ func (b *Base) stationHandoff(ctx *sim.Context, lm int, c *sim.Contact) {
 	if st.Buffer.Len() == 0 {
 		return
 	}
-	present := ctx.NodesAt(lm)
 	// Under memory pressure most visitors are full; dropping them up
 	// front keeps congested stations (thousands of queued packets) cheap
-	// to serve.
-	free := present[:0]
-	for _, n := range present {
+	// to serve. NodesAt aliases the engine's live presence set, so the
+	// filter goes through a router-owned scratch slice, never in place.
+	free := b.freeScratch[:0]
+	for _, n := range ctx.NodesAt(lm) {
 		if n.Buffer.Free() > 0 {
 			free = append(free, n)
 		}
 	}
-	present = free
+	b.freeScratch = free
+	present := free
 	if len(present) == 0 {
 		return
 	}
 	now := ctx.Now()
-	pkts := append([]*sim.Packet(nil), st.Buffer.Packets()...)
+	// Copy the station queue: Download mutates it while we iterate.
+	pkts := append(b.pktScratch[:0], st.Buffer.Packets()...)
+	b.pktScratch = pkts
 	for _, p := range pkts {
 		var best *sim.Node
 		bestS := 0.0

@@ -127,8 +127,8 @@ func TestPERHittingMonotoneInSteps(t *testing.T) {
 		m.OnVisit(ctx, n, []int{0, 1, 2, 3}[i%4])
 	}
 	// More steps reach further around the cycle.
-	v2 := m.hitting(ctx, 0, 1)
-	v8 := m.hitting(ctx, 0, 3)
+	v2 := m.hitting(ctx, 0, 1, nil)
+	v8 := m.hitting(ctx, 0, 3, nil)
 	for d := 0; d < 4; d++ {
 		if v8[d]+1e-12 < v2[d] {
 			t.Errorf("hitting probability decreased with more steps at %d: %v -> %v", d, v2[d], v8[d])

@@ -15,8 +15,8 @@ import (
 type PER struct {
 	MaxSteps int // cap on the hitting-probability recursion depth
 
-	trans    [][]map[int]int // node -> landmark -> next-landmark counts
-	stepSum  []trace.Time    // node -> accumulated sojourn+travel time
+	trans    [][]transRow // node -> landmark -> next-landmark counts
+	stepSum  []trace.Time // node -> accumulated sojourn+travel time
 	stepCnt  []int
 	last     []int
 	lastTime []trace.Time
@@ -32,6 +32,29 @@ type PER struct {
 	active, nextActive []int
 }
 
+// transRow holds one landmark's observed next-landmark transition counts
+// as parallel slices. A row has few distinct successors, so linear scans
+// beat a map — and, unlike map iteration, their order is deterministic,
+// which the hitting recursion's floating-point accumulation relies on.
+type transRow struct {
+	to    []int32
+	cnt   []int32
+	total int32
+}
+
+func (r *transRow) bump(lm int) {
+	for i, t := range r.to {
+		if int(t) == lm {
+			r.cnt[i]++
+			r.total++
+			return
+		}
+	}
+	r.to = append(r.to, int32(lm))
+	r.cnt = append(r.cnt, 1)
+	r.total++
+}
+
 // NewPER returns a PER instance.
 func NewPER() *PER { return &PER{MaxSteps: 16} }
 
@@ -41,9 +64,9 @@ func (m *PER) Name() string { return "PER" }
 // Init implements Method.
 func (m *PER) Init(ctx *sim.Context) {
 	nN := len(ctx.Nodes)
-	m.trans = make([][]map[int]int, nN)
+	m.trans = make([][]transRow, nN)
 	for i := range m.trans {
-		m.trans[i] = make([]map[int]int, ctx.NumLandmarks())
+		m.trans[i] = make([]transRow, ctx.NumLandmarks())
 	}
 	m.stepSum = make([]trace.Time, nN)
 	m.stepCnt = make([]int, nN)
@@ -62,10 +85,7 @@ func (m *PER) Init(ctx *sim.Context) {
 func (m *PER) OnVisit(ctx *sim.Context, n *sim.Node, lm int) {
 	id := n.ID
 	if prev := m.last[id]; prev >= 0 && prev != lm {
-		if m.trans[id][prev] == nil {
-			m.trans[id][prev] = map[int]int{}
-		}
-		m.trans[id][prev][lm]++
+		m.trans[id][prev].bump(lm)
 		m.stepSum[id] += ctx.Now() - m.lastTime[id]
 		m.stepCnt[id]++
 	}
@@ -88,35 +108,38 @@ func (m *PER) meanStep(node int) trace.Time {
 // accumulates first-visit mass (slightly overestimating on revisits, which
 // is acceptable for ranking). Dense scratch buffers keep the hot path
 // allocation-light.
-func (m *PER) hitting(ctx *sim.Context, node, steps int) []float64 {
+func (m *PER) hitting(ctx *sim.Context, node, steps int, visited []float64) []float64 {
 	nLm := ctx.NumLandmarks()
 	if len(m.occ) != nLm {
 		m.occ = make([]float64, nLm)
 		m.nxt = make([]float64, nLm)
 	}
+	if len(visited) != nLm {
+		visited = make([]float64, nLm)
+	} else {
+		for i := range visited {
+			visited[i] = 0
+		}
+	}
 	occ, nxt := m.occ, m.nxt
 	active := m.active[:0]
 	occ[m.last[node]] = 1
 	active = append(active, m.last[node])
-	visited := make([]float64, nLm)
 	for k := 0; k < steps && len(active) > 0; k++ {
 		nextActive := m.nextActive[:0]
 		for _, at := range active {
 			mass := occ[at]
 			occ[at] = 0
-			tm := m.trans[node][at]
-			total := 0
-			for _, c := range tm {
-				total += c
-			}
-			if total == 0 {
+			row := &m.trans[node][at]
+			if row.total == 0 {
 				continue
 			}
-			for to, c := range tm {
+			total := float64(row.total)
+			for i, to := range row.to {
 				if nxt[to] == 0 {
-					nextActive = append(nextActive, to)
+					nextActive = append(nextActive, int(to))
 				}
-				nxt[to] += mass * float64(c) / float64(total)
+				nxt[to] += mass * float64(row.cnt[i]) / total
 			}
 		}
 		for _, to := range nextActive {
@@ -157,7 +180,7 @@ func (m *PER) Score(ctx *sim.Context, node, dst int, remaining trace.Time) float
 		}
 	}
 	if m.cacheLm[node] != m.last[node] || m.cacheStep[node] != steps {
-		m.cacheProb[node] = m.hitting(ctx, node, steps)
+		m.cacheProb[node] = m.hitting(ctx, node, steps, m.cacheProb[node])
 		m.cacheLm[node] = m.last[node]
 		m.cacheStep[node] = steps
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // This file implements the packet forwarding algorithm of Section IV-D:
@@ -32,6 +33,9 @@ func (r *Router) uploadEligible(ns *nodeState, p *sim.Packet, lm int) bool {
 // the landmark path, triggers loop detection (Section IV-E.2) and records
 // the packet against its assigned outgoing link for load balancing.
 func (r *Router) stationReceive(ctx *sim.Context, lm int, p *sim.Packet) {
+	if p.Path == nil {
+		p.Path = make([]int, 0, 8) // skip the tiny append-growth steps
+	}
 	p.Path = append(p.Path, lm)
 	if r.cfg.LoopFix {
 		if members, ok := routing.DetectLoop(p.Path); ok {
@@ -122,12 +126,41 @@ func (r *Router) pickCarrier(present []*sim.Node, target int, p *sim.Packet) (*s
 	return best, bestP
 }
 
+// cand is one forwarding candidate of a forwardPass.
+type cand struct {
+	p        *sim.Packet
+	target   int
+	exp      float64
+	feasible bool
+}
+
+// candList orders candidates feasible-first, then by minimal remaining
+// TTL, then by packet ID (IV-D.5). The pointer receiver lets forwardPass
+// sort the router-owned scratch slice without boxing a fresh closure per
+// call.
+type candList []cand
+
+func (s *candList) Len() int      { return len(*s) }
+func (s *candList) Swap(i, j int) { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
+func (s *candList) Less(i, j int) bool {
+	a, b := &(*s)[i], &(*s)[j]
+	if a.feasible != b.feasible {
+		return a.feasible
+	}
+	if a.p.Expiry != b.p.Expiry {
+		return a.p.Expiry < b.p.Expiry
+	}
+	return a.p.ID < b.p.ID
+}
+
 // forwardPass forwards as many station packets as possible from landmark
 // lm to connected carriers, honouring the scheduling priority of IV-D.5:
 // packets whose expected delay fits their remaining TTL go first, ordered
 // by minimal remaining TTL. c is the active contact whose budget applies
 // to transfers involving its node (nil outside a contact). It returns the
-// number of packets handed to carriers.
+// number of packets handed to carriers. All intermediate state lives in
+// router-owned scratch buffers, so a pass over an uncongested station
+// allocates nothing.
 func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 	st := ctx.Stations[lm]
 	if st.Buffer.Len() == 0 {
@@ -142,27 +175,28 @@ func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 
 	// Only targets some present node is predicted to transit to can
 	// receive packets this pass; filtering before the sort keeps congested
-	// stations (thousands of queued packets) cheap to serve.
-	reachable := map[int]bool{}
+	// stations (thousands of queued packets) cheap to serve. The stamp
+	// array replaces a per-pass map: reachStamp[t] == reachEpoch marks t
+	// reachable this pass.
+	r.reachEpoch++
+	epoch := r.reachEpoch
+	anyReachable := false
 	for _, n := range present {
 		ns := r.nodes[n.ID]
 		if ns.predicted >= 0 && !ns.deadEnded {
-			reachable[ns.predicted] = true
+			r.reachStamp[ns.predicted] = epoch
+			anyReachable = true
 		}
 	}
-	if len(reachable) == 0 {
+	if !anyReachable {
 		return 0
 	}
 
-	// Order: feasible first, then by remaining TTL ascending.
-	pkts := append([]*sim.Packet(nil), st.Buffer.Packets()...)
-	type cand struct {
-		p        *sim.Packet
-		target   int
-		exp      float64
-		feasible bool
-	}
-	cands := make([]cand, 0, len(pkts))
+	// Order: feasible first, then by remaining TTL ascending. Copy the
+	// station queue first: Download mutates it while we iterate.
+	pkts := append(r.pktScratch[:0], st.Buffer.Packets()...)
+	r.pktScratch = pkts
+	cands := r.candScratch[:0]
 	for _, p := range pkts {
 		if p.Dst == lm {
 			continue // node-destined packet waiting at its rendezvous
@@ -172,21 +206,15 @@ func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 			r.Debug.NoRoute++
 			continue
 		}
-		if !reachable[target] {
+		if r.reachStamp[target] != epoch {
 			r.Debug.NoCarrier++
 			continue
 		}
 		cands = append(cands, cand{p: p, target: target, exp: exp, feasible: exp < float64(p.Remaining(now))})
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].feasible != cands[j].feasible {
-			return cands[i].feasible
-		}
-		if cands[i].p.Expiry != cands[j].p.Expiry {
-			return cands[i].p.Expiry < cands[j].p.Expiry
-		}
-		return cands[i].p.ID < cands[j].p.ID
-	})
+	r.candScratch = cands
+	sort.Stable(&r.candScratch)
+	cands = r.candScratch
 	sent := 0
 	for _, cd := range cands {
 		carrier, _ := r.pickCarrier(present, cd.target, cd.p)
@@ -213,6 +241,29 @@ func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 	return sent
 }
 
+// eligList orders upload-eligible packets feasible-first (recorded
+// expected delay fits the remaining TTL at time now), then by minimal
+// remaining TTL, then by packet ID (IV-D.5 step 3).
+type eligList struct {
+	pkts []*sim.Packet
+	now  trace.Time
+}
+
+func (s *eligList) Len() int      { return len(s.pkts) }
+func (s *eligList) Swap(i, j int) { s.pkts[i], s.pkts[j] = s.pkts[j], s.pkts[i] }
+func (s *eligList) Less(i, j int) bool {
+	a, b := s.pkts[i], s.pkts[j]
+	fa := a.ExpDelay < float64(a.Remaining(s.now))
+	fb := b.ExpDelay < float64(b.Remaining(s.now))
+	if fa != fb {
+		return fa
+	}
+	if a.Expiry != b.Expiry {
+		return a.Expiry < b.Expiry
+	}
+	return a.ID < b.ID
+}
+
 // uploadBatch uploads up to NMax eligible packets from the contact's node,
 // prioritising packets whose expected delay fits their remaining TTL, then
 // minimal remaining TTL (IV-D.5 step 3). It returns the number uploaded.
@@ -221,25 +272,16 @@ func (r *Router) uploadBatch(ctx *sim.Context, c *sim.Contact) int {
 	ns := r.nodes[n.ID]
 	lm := c.Landmark
 	now := ctx.Now()
-	var elig []*sim.Packet
+	elig := r.eligScratch.pkts[:0]
 	for _, p := range n.Buffer.Packets() {
 		if r.uploadEligible(ns, p, lm) {
 			elig = append(elig, p)
 		}
 	}
-	// A packet is "feasible" when its recorded expected delay fits its
-	// remaining TTL; such packets are prioritised (IV-D.5 step 3).
-	feasible := func(p *sim.Packet) bool { return p.ExpDelay < float64(p.Remaining(now)) }
-	sort.SliceStable(elig, func(i, j int) bool {
-		fi, fj := feasible(elig[i]), feasible(elig[j])
-		if fi != fj {
-			return fi
-		}
-		if elig[i].Expiry != elig[j].Expiry {
-			return elig[i].Expiry < elig[j].Expiry
-		}
-		return elig[i].ID < elig[j].ID
-	})
+	r.eligScratch.pkts = elig
+	r.eligScratch.now = now
+	sort.Stable(&r.eligScratch)
+	elig = r.eligScratch.pkts
 	max := r.cfg.NMax
 	if max <= 0 {
 		max = len(elig)

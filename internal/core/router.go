@@ -67,8 +67,15 @@ type landmarkState struct {
 	// paper derives from Fig. 8's stability result).
 	changedAt trace.Time
 	// pending holds the latest bandwidth report per neighbour awaiting
-	// transport back to that neighbour.
-	pending map[int]routing.BandwidthReport
+	// transport back to that neighbour (dense per landmark; hasPending
+	// marks the populated entries — departures scan it on the hot path).
+	pending    []routing.BandwidthReport
+	hasPending []bool
+	// advVec is the advertisement copy handed to departing nodes; it is
+	// shared between all nodes carrying the same table state (receivers
+	// copy on merge and never mutate it) and replaced — never rewritten —
+	// when the table's vector changes.
+	advVec []float64
 	// notices holds outstanding loop-correction notices to be spread.
 	notices []correctionNotice
 	// forcedUntil, per destination, keeps forced re-advertisement active.
@@ -79,6 +86,11 @@ type landmarkState struct {
 	lbSent     map[int]float64
 	lbInRate   map[int]float64
 	lbOutRate  map[int]float64
+
+	// Reusable scratch for per-unit and per-departure bookkeeping.
+	nbrScratch []int
+	keyScratch []int
+	hopScratch []int
 }
 
 // Router is the DTN-FLOW router. Create with New; it implements
@@ -96,6 +108,15 @@ type Router struct {
 	// visit tallies behind them.
 	freq       [][]int
 	freqCounts []map[int]int
+
+	// Reusable scratch state for the forwarding hot path (forward.go).
+	// One router serves one engine, so the scratch is race-free; sweeps
+	// parallelise across engines, each with its own router.
+	reachStamp  []int // per landmark; == reachEpoch when reachable this pass
+	reachEpoch  int
+	pktScratch  []*sim.Packet
+	candScratch candList
+	eligScratch eligList
 
 	// UnitHook, when set, runs after each time-unit boundary is
 	// processed; experiments use it to snapshot tables (Fig. 8).
@@ -155,7 +176,8 @@ func (r *Router) Init(ctx *sim.Context) {
 			table:       routing.NewTable(i, nL),
 			bw:          routing.NewBandwidthTable(r.cfg.Rho),
 			arrivals:    routing.NewArrivalCounter(),
-			pending:     map[int]routing.BandwidthReport{},
+			pending:     make([]routing.BandwidthReport, nL),
+			hasPending:  make([]bool, nL),
 			version:     1,
 			forcedUntil: map[int]trace.Time{},
 			lbAssigned:  map[int]float64{},
@@ -165,6 +187,8 @@ func (r *Router) Init(ctx *sim.Context) {
 		}
 	}
 	r.freq = make([][]int, len(ctx.Nodes))
+	r.reachStamp = make([]int, nL)
+	r.reachEpoch = 0
 }
 
 // Table returns landmark lm's routing table (inspection).
@@ -261,10 +285,17 @@ func (r *Router) OnDepart(ctx *sim.Context, n *sim.Node, lm int) {
 		}
 	}
 	if forced || now < ls.changedAt+ctx.Cfg.Unit {
+		// All departures between two table changes carry identical vector
+		// contents, so they share one copy (receivers copy on merge; the
+		// copy is replaced, never rewritten, when the table moves on).
+		vec := ls.table.ToVector()
+		if !equalFloats(ls.advVec, vec) {
+			ls.advVec = append([]float64(nil), vec...)
+		}
 		ns.vectors = append(ns.vectors, carriedVector{
 			owner:   lm,
 			target:  -1, // deliver at the next landmark reached
-			vec:     append([]float64(nil), ls.table.ToVector()...),
+			vec:     ls.advVec,
 			entries: ls.table.Len(),
 			seq:     ls.version,
 			forced:  forced,
@@ -283,7 +314,8 @@ func (r *Router) OnDepart(ctx *sim.Context, n *sim.Node, lm int) {
 	// pending set (reports are single entries) and delivers whichever
 	// matches the landmark it actually reaches.
 	ns.reports = ns.reports[:0]
-	for _, from := range ls.incomingNeighbors() {
+	ls.nbrScratch = ls.appendIncomingNeighbors(ls.nbrScratch[:0])
+	for _, from := range ls.nbrScratch {
 		ns.reports = append(ns.reports, ls.pending[from])
 	}
 
@@ -301,8 +333,10 @@ func (r *Router) OnDepart(ctx *sim.Context, n *sim.Node, lm int) {
 func (r *Router) OnTimeUnit(ctx *sim.Context, seq int) {
 	r.unitSeq = seq + 1
 	for lm, ls := range r.landmarks {
-		for _, rep := range ls.arrivals.Roll(lm, seq, ls.incomingNeighbors()) {
+		ls.nbrScratch = ls.appendIncomingNeighbors(ls.nbrScratch[:0])
+		for _, rep := range ls.arrivals.Roll(lm, seq, ls.nbrScratch) {
 			ls.pending[rep.From] = rep
+			ls.hasPending[rep.From] = true
 			// Until the reverse report arrives, estimate the outgoing
 			// bandwidth from the incoming one under observation O3
 			// (matching transit links are near-symmetric).
@@ -313,12 +347,14 @@ func (r *Router) OnTimeUnit(ctx *sim.Context, seq int) {
 		// Re-advertise when the routes materially changed this unit: a
 		// next hop differs, or an advertised delay drifted by more than
 		// half (staleness would mislead downstream HoldOnWorse and
-		// feasibility decisions).
-		hops := ls.table.NextHops()
-		delays := append([]float64(nil), ls.table.ToVector()...)
-		if !equalInts(hops, ls.lastHops) || delaysDrifted(delays, ls.lastDelays, 1.0) {
-			ls.lastHops = hops
-			ls.lastDelays = delays
+		// feasibility decisions). Both comparisons run against retained
+		// buffers that are only rewritten on change, so a stable unit
+		// allocates nothing.
+		ls.hopScratch = ls.table.AppendNextHops(ls.hopScratch[:0])
+		delays := ls.table.ToVector()
+		if !equalInts(ls.hopScratch, ls.lastHops) || delaysDrifted(delays, ls.lastDelays, 1.0) {
+			ls.lastHops = append(ls.lastHops[:0], ls.hopScratch...)
+			ls.lastDelays = append(ls.lastDelays[:0], delays...)
 			ls.version++
 			ls.changedAt = ctx.Now()
 		}
@@ -332,29 +368,32 @@ func (r *Router) OnTimeUnit(ctx *sim.Context, seq int) {
 		ls.notices = keep
 		// Fold load-balancing rates (EWMA with the same ρ as bandwidth).
 		rho := r.cfg.Rho
-		for _, link := range sortedKeys2(ls.lbAssigned, ls.lbInRate) {
+		ls.keyScratch = appendKeys2(ls.keyScratch[:0], ls.lbAssigned, ls.lbInRate)
+		for _, link := range ls.keyScratch {
 			ls.lbInRate[link] = rho*ls.lbAssigned[link] + (1-rho)*ls.lbInRate[link]
 		}
-		for _, link := range sortedKeys2(ls.lbSent, ls.lbOutRate) {
+		ls.keyScratch = appendKeys2(ls.keyScratch[:0], ls.lbSent, ls.lbOutRate)
+		for _, link := range ls.keyScratch {
 			ls.lbOutRate[link] = rho*ls.lbSent[link] + (1-rho)*ls.lbOutRate[link]
 		}
-		ls.lbAssigned = map[int]float64{}
-		ls.lbSent = map[int]float64{}
+		clear(ls.lbAssigned)
+		clear(ls.lbSent)
 	}
 	if r.UnitHook != nil {
 		r.UnitHook(seq)
 	}
 }
 
-// incomingNeighbors lists the neighbours this landmark has ever produced a
-// report for (so zero-count reports decay dead links).
-func (ls *landmarkState) incomingNeighbors() []int {
-	out := make([]int, 0, len(ls.pending))
-	for from := range ls.pending {
-		out = append(out, from)
+// appendIncomingNeighbors appends the neighbours this landmark has ever
+// produced a report for (so zero-count reports decay dead links) to dst,
+// in index order. Callers pass a reusable scratch slice.
+func (ls *landmarkState) appendIncomingNeighbors(dst []int) []int {
+	for from, has := range ls.hasPending {
+		if has {
+			dst = append(dst, from)
+		}
 	}
-	sort.Ints(out)
-	return out
+	return dst
 }
 
 // deliverControl applies the control payloads a node carries when it
@@ -380,7 +419,7 @@ func (r *Router) deliverControl(ctx *sim.Context, ns *nodeState, lm int) {
 		ns.vectors = keep
 	}
 	if len(ns.reports) > 0 {
-		var keep []routing.BandwidthReport
+		keep := ns.reports[:0]
 		for _, rep := range ns.reports {
 			if rep.From == lm {
 				if ls.bw.Apply(rep.To, float64(rep.Count), rep.Seq) {
@@ -394,7 +433,7 @@ func (r *Router) deliverControl(ctx *sim.Context, ns *nodeState, lm int) {
 		ns.reports = keep
 	}
 	if len(ns.notices) > 0 {
-		var keep []correctionNotice
+		keep := ns.notices[:0]
 		now := ctx.Now()
 		for _, nt := range ns.notices {
 			if now >= nt.Expiry {
@@ -459,18 +498,29 @@ func equalInts(a, b []int) bool {
 	return true
 }
 
-func sortedKeys2(a, b map[int]float64) []int {
-	set := map[int]bool{}
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendKeys2 appends the union of the two maps' keys to dst, sorted.
+// Callers pass a reusable scratch slice.
+func appendKeys2(dst []int, a, b map[int]float64) []int {
 	for k := range a {
-		set[k] = true
+		dst = append(dst, k)
 	}
 	for k := range b {
-		set[k] = true
+		if _, ok := a[k]; !ok {
+			dst = append(dst, k)
+		}
 	}
-	out := make([]int, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
+	sort.Ints(dst)
+	return dst
 }

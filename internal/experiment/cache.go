@@ -1,0 +1,43 @@
+package experiment
+
+import "sync"
+
+// Scenario construction dominated the cost of the smaller experiment
+// suites: every experiment (and every benchmark iteration) called
+// DARTScenario / DNETScenario / CampusScenario, and each call regenerated
+// the full synthetic trace from scratch. The generators are deterministic
+// — same kind and scale always yield byte-identical traces — so the
+// scenarios are memoized process-wide, keyed by (trace kind, scale), and
+// every caller shares one Scenario and one trace.Trace (whose own derived
+// artifacts are memoized per trace; see internal/trace/derived.go).
+//
+// Contract: cached Scenarios and their traces are shared across
+// experiments and across concurrently running simulations, and must be
+// treated as immutable after construction. Code that needs a private
+// variant builds its own Scenario (as the landmark-count ablation does)
+// or copies the struct; sim.Config values returned by Scenario.Config are
+// copies and free to tweak.
+
+// scenarioKey identifies one cached scenario.
+type scenarioKey struct {
+	kind  string
+	scale Scale
+}
+
+// scenarioEntry guards one lazily built scenario.
+type scenarioEntry struct {
+	once sync.Once
+	sc   *Scenario
+}
+
+var scenarioCache sync.Map // scenarioKey -> *scenarioEntry
+
+// cachedScenario returns the memoized scenario for (kind, scale),
+// building it at most once per process. Concurrent callers for the same
+// key block on the sync.Once until the build completes.
+func cachedScenario(kind string, scale Scale, build func(Scale) *Scenario) *Scenario {
+	v, _ := scenarioCache.LoadOrStore(scenarioKey{kind, scale}, &scenarioEntry{})
+	e := v.(*scenarioEntry)
+	e.once.Do(func() { e.sc = build(scale) })
+	return e.sc
+}

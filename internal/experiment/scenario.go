@@ -89,9 +89,16 @@ func (sc *Scenario) Workload(rate float64) *sim.Workload {
 	return sim.NewWorkload(rate, 1024, sc.TTL)
 }
 
-// DARTScenario builds the DART-like scenario: TTL 20 days, time unit
-// 3 days, default rate 500 packets/day.
+// DARTScenario returns the DART-like scenario: TTL 20 days, time unit
+// 3 days, default rate 500 packets/day. The result is memoized per scale
+// and shared (see cache.go); treat it as immutable.
 func DARTScenario(scale Scale) *Scenario {
+	return cachedScenario("DART", scale, buildDARTScenario)
+}
+
+// buildDARTScenario constructs a fresh DART scenario, bypassing the
+// process-wide cache (the determinism test compares both paths).
+func buildDARTScenario(scale Scale) *Scenario {
 	cfg := synth.DefaultDART()
 	sc := &Scenario{
 		Name:    "DART",
@@ -123,10 +130,17 @@ func DARTScenario(scale Scale) *Scenario {
 	return sc
 }
 
-// DNETScenario builds the DNET-like scenario: TTL 4 days, time unit half a
-// day (the unit used for the DNET trace analysis), default rate 500
-// packets/day.
+// DNETScenario returns the DNET-like scenario: TTL 4 days, time unit half
+// a day (the unit used for the DNET trace analysis), default rate 500
+// packets/day. The result is memoized per scale and shared (see
+// cache.go); treat it as immutable.
 func DNETScenario(scale Scale) *Scenario {
+	return cachedScenario("DNET", scale, buildDNETScenario)
+}
+
+// buildDNETScenario constructs a fresh DNET scenario, bypassing the
+// process-wide cache.
+func buildDNETScenario(scale Scale) *Scenario {
 	cfg := synth.DefaultDNET()
 	sc := &Scenario{
 		Name:    "DNET",
@@ -154,10 +168,17 @@ func DNETScenario(scale Scale) *Scenario {
 	return sc
 }
 
-// CampusScenario builds the real-deployment scenario of Section V-C:
+// CampusScenario returns the real-deployment scenario of Section V-C:
 // TTL 3 days, time unit 12 hours, 75 packets per landmark per day all
-// destined to L1 (the library).
+// destined to L1 (the library). The result is memoized per scale and
+// shared (see cache.go); treat it as immutable.
 func CampusScenario(scale Scale) *Scenario {
+	return cachedScenario("CAMPUS", scale, buildCampusScenario)
+}
+
+// buildCampusScenario constructs a fresh campus scenario, bypassing the
+// process-wide cache.
+func buildCampusScenario(scale Scale) *Scenario {
 	cfg := synth.DefaultCampus()
 	if scale != Full {
 		cfg.Days = 7

@@ -9,10 +9,7 @@
 // paper's Eqs. (1)–(3).
 package predict
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Markov is an order-k Markov predictor over landmark indices. The zero
 // value is not usable; construct with NewMarkov. Markov is not safe for
@@ -24,6 +21,11 @@ type Markov struct {
 	counts map[string]map[int]int
 	// ctxTotal[ctx] = total occurrences of context ctx with a successor.
 	ctxTotal map[string]int
+	// dist memoizes Distribution between Observes: carrier selection
+	// queries the same distribution once per present node per forwarding
+	// pass, while the history only changes on arrival.
+	dist      []Prediction
+	distValid bool
 }
 
 // NewMarkov returns an order-k predictor. k must be >= 1.
@@ -89,6 +91,7 @@ func (m *Markov) Observe(lm int) {
 		m.ctxTotal[key]++
 	}
 	m.history = append(m.history, lm)
+	m.distValid = false
 }
 
 // Prediction is one candidate next landmark with its probability.
@@ -102,7 +105,20 @@ type Prediction struct {
 // landmark index). It backs off to shorter contexts when the full k-length
 // context was never seen, and returns nil when no context matches — the
 // paper's "missed k-hop transit pattern" case.
+//
+// The result is memoized until the next Observe and shared between calls:
+// callers must treat it as read-only and must not retain it across
+// Observe.
 func (m *Markov) Distribution() []Prediction {
+	if m.distValid {
+		return m.dist
+	}
+	m.dist = m.computeDistribution(m.dist[:0])
+	m.distValid = true
+	return m.dist
+}
+
+func (m *Markov) computeDistribution(out []Prediction) []Prediction {
 	n := len(m.history)
 	if n == 0 {
 		return nil
@@ -113,17 +129,22 @@ func (m *Markov) Distribution() []Prediction {
 		if total == 0 {
 			continue
 		}
-		nm := m.counts[key]
-		out := make([]Prediction, 0, len(nm))
-		for lm, c := range nm {
+		for lm, c := range m.counts[key] {
 			out = append(out, Prediction{Landmark: lm, Probability: float64(c) / float64(total)})
 		}
-		sort.Slice(out, func(a, b int) bool {
-			if out[a].Probability != out[b].Probability {
-				return out[a].Probability > out[b].Probability
+		// Insertion sort: candidate sets are small (the distinct successors
+		// of one context) and this avoids sort.Slice's reflection overhead
+		// on the hot path.
+		for i := 1; i < len(out); i++ {
+			p := out[i]
+			j := i - 1
+			for j >= 0 && (out[j].Probability < p.Probability ||
+				(out[j].Probability == p.Probability && out[j].Landmark > p.Landmark)) {
+				out[j+1] = out[j]
+				j--
 			}
-			return out[a].Landmark < out[b].Landmark
-		})
+			out[j+1] = p
+		}
 		return out
 	}
 	return nil

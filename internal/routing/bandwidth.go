@@ -126,6 +126,8 @@ func LinkDelay(bandwidth float64, unit trace.Time) float64 {
 // neighbouring landmark inside departing nodes (Section IV-C.1).
 type ArrivalCounter struct {
 	counts map[int]int
+	// rep is the reusable report buffer handed out by Roll.
+	rep []BandwidthReport
 }
 
 // NewArrivalCounter returns an empty counter.
@@ -151,20 +153,30 @@ type BandwidthReport struct {
 // counter. me is the landmark owning the counter; seq the completed unit.
 // Neighbours with zero arrivals this unit still get a report so their
 // bandwidth estimate decays (otherwise a dead link would keep its old
-// bandwidth forever).
+// bandwidth forever). The returned slice is reused by the next Roll —
+// callers must consume or copy it before then.
 func (c *ArrivalCounter) Roll(me, seq int, knownNeighbors []int) []BandwidthReport {
-	seen := map[int]bool{}
-	var out []BandwidthReport
+	out := c.rep[:0]
 	for from, n := range c.counts {
 		out = append(out, BandwidthReport{From: from, To: me, Count: n, Seq: seq})
-		seen[from] = true
 	}
 	for _, from := range knownNeighbors {
-		if !seen[from] {
+		if _, ok := c.counts[from]; !ok {
 			out = append(out, BandwidthReport{From: from, To: me, Count: 0, Seq: seq})
 		}
 	}
-	c.counts = map[int]int{}
-	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	clear(c.counts)
+	// Insertion sort by From: the map iteration order above is random, the
+	// report order must not be. Reports are few (one per incoming link).
+	for i := 1; i < len(out); i++ {
+		r := out[i]
+		j := i - 1
+		for j >= 0 && out[j].From > r.From {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = r
+	}
+	c.rep = out
 	return out
 }

@@ -71,6 +71,9 @@ func (t *Table) SetLinkDelay(nbr int, delay float64) {
 	if nbr == t.Owner || nbr < 0 || nbr >= t.size {
 		return
 	}
+	if t.linkDelay[nbr] == delay {
+		return // no change, no recomputation
+	}
 	had := t.linkDelay[nbr] < Infinite
 	t.linkDelay[nbr] = delay
 	has := delay < Infinite
@@ -135,12 +138,28 @@ func (t *Table) storeVector(nbr int, vec []float64, seq int) {
 	dst := t.vectors[nbr]
 	if dst == nil {
 		dst = make([]float64, t.size)
+		for i := range dst {
+			dst[i] = Infinite
+		}
 		t.vectors[nbr] = dst
 	}
-	copy(dst, vec)
-	dst[t.Owner] = Infinite // never route to ourselves via a neighbour
+	// In steady state most arriving advertisements repeat the stored
+	// vector; detecting that here keeps the seq bookkeeping without
+	// forcing a route recomputation on the next lookup.
+	changed := false
+	for i, v := range vec {
+		if i == t.Owner {
+			v = Infinite // never route to ourselves via a neighbour
+		}
+		if dst[i] != v {
+			dst[i] = v
+			changed = true
+		}
+	}
 	t.vectorSeq[nbr] = seq
-	t.dirty = true
+	if changed {
+		t.dirty = true
+	}
 }
 
 // refresh recomputes the routes when mutations are pending. Mutators only
@@ -253,6 +272,14 @@ func (t *Table) ToVector() []float64 {
 func (t *Table) NextHops() []int {
 	t.refresh()
 	return append([]int(nil), t.next...)
+}
+
+// AppendNextHops appends the per-destination next-hop array to dst and
+// returns it — the allocation-free variant of NextHops for callers with a
+// reusable scratch buffer.
+func (t *Table) AppendNextHops(dst []int) []int {
+	t.refresh()
+	return append(dst, t.next...)
 }
 
 // Coverage returns the fraction of the other total-1 landmarks this table

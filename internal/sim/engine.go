@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -41,49 +40,6 @@ func DefaultConfig(traceDuration trace.Time) Config {
 	}
 }
 
-// event kinds, in tie-break order at equal timestamps.
-const (
-	evUnit = iota
-	evDepart
-	evGenerate
-	evArrive
-	evTimer
-)
-
-type event struct {
-	t    trace.Time
-	kind int
-	seq  int // insertion sequence for total ordering
-	// payload
-	visit trace.Visit
-	pkt   *Packet
-	unit  int
-	fn    func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Context is the router's interface to the running simulation.
 type Context struct {
 	Trace    *trace.Trace
@@ -103,14 +59,15 @@ func (ctx *Context) Now() trace.Time { return ctx.engine.now }
 func (ctx *Context) NumLandmarks() int { return ctx.Trace.NumLandmarks }
 
 // NodesAt returns the nodes currently connected to landmark lm, in ID
-// order. The slice is freshly allocated.
+// order.
+//
+// Aliasing contract: the returned slice is the engine's live presence set
+// for lm, kept ID-ordered incrementally — not a copy. It is valid until
+// the next arrive or depart event; callers that only iterate (the common
+// hot path) pay no allocation or sort. Callers must not mutate, append
+// to, or retain the slice across events; copy it first if they need to.
 func (ctx *Context) NodesAt(lm int) []*Node {
-	var out []*Node
-	for id := range ctx.engine.present[lm] {
-		out = append(out, ctx.Nodes[id])
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return ctx.engine.present[lm]
 }
 
 // Schedule registers fn to run at time t (>= now). Routers use this for
@@ -119,7 +76,7 @@ func (ctx *Context) Schedule(t trace.Time, fn func()) {
 	if t < ctx.engine.now {
 		t = ctx.engine.now
 	}
-	ctx.engine.push(&event{t: t, kind: evTimer, fn: fn})
+	ctx.engine.push(event{t: t, kind: evTimer, fn: fn})
 }
 
 // chargeBudget consumes one transfer from the contact budget; it reports
@@ -136,10 +93,12 @@ func chargeBudget(c *Contact) bool {
 	return true
 }
 
-// expireFromBuffer drops every expired packet from b.
+// expireFromBuffer drops every expired packet from b. The engine-owned
+// scratch slice is reused across calls, so the common no-expiry case costs
+// one pass and no allocation.
 func (ctx *Context) expireFromBuffer(b *Buffer) {
 	now := ctx.engine.now
-	var expired []*Packet
+	expired := ctx.engine.expireScratch[:0]
 	for _, p := range b.Packets() {
 		if p.Expired(now) {
 			expired = append(expired, p)
@@ -149,6 +108,7 @@ func (ctx *Context) expireFromBuffer(b *Buffer) {
 		b.Remove(p)
 		ctx.dropPacket(p, metrics.DropTTL)
 	}
+	ctx.engine.expireScratch = expired[:0]
 }
 
 func (ctx *Context) dropPacket(p *Packet, r metrics.DropReason) {
@@ -287,8 +247,12 @@ type Engine struct {
 	now         trace.Time
 	start, end  trace.Time
 	measureFrom trace.Time
-	present     []map[int]bool // landmark -> set of node IDs connected
-	nextUnit    int
+	// present[lm] is the ID-ordered set of nodes connected to landmark lm,
+	// maintained incrementally on arrive/depart. Context.NodesAt returns
+	// these slices directly (see its aliasing contract).
+	present       [][]*Node
+	nextUnit      int
+	expireScratch []*Packet
 }
 
 // New assembles an engine for one run. The trace must be preprocessed
@@ -315,25 +279,30 @@ func New(tr *trace.Trace, r Router, w *Workload, cfg Config) *Engine {
 		ctx.Stations = append(ctx.Stations, &Station{ID: i, Buffer: NewBuffer(0)})
 	}
 	e.ctx = ctx
-	e.present = make([]map[int]bool, tr.NumLandmarks)
-	for i := range e.present {
-		e.present[i] = map[int]bool{}
-	}
+	e.present = make([][]*Node, tr.NumLandmarks)
 	e.measureFrom = start + cfg.Warmup
-	// Seed the event heap.
+	// Seed the event heap. The exact capacity for the trace- and
+	// unit-driven events is known up front; packet generations grow it once
+	// more below.
+	units := 0
+	if cfg.Unit > 0 {
+		units = int((end-start)/cfg.Unit) + 1
+	}
+	e.events.grow(2*len(tr.Visits) + units)
 	for _, v := range tr.Visits {
-		e.push(&event{t: v.Start, kind: evArrive, visit: v})
-		e.push(&event{t: v.End, kind: evDepart, visit: v})
+		e.push(event{t: v.Start, kind: evArrive, visit: v})
+		e.push(event{t: v.End, kind: evDepart, visit: v})
 	}
 	if cfg.Unit > 0 {
 		for u, t := 0, start+cfg.Unit; t <= end; u, t = u+1, t+cfg.Unit {
-			e.push(&event{t: t, kind: evUnit, unit: u})
+			e.push(event{t: t, kind: evUnit, unit: u})
 		}
 	}
 	if w != nil {
-		for _, g := range w.Schedule(ctx.Rand, e.measureFrom, end, tr.NumLandmarks) {
-			pkt := g
-			e.push(&event{t: pkt.Created, kind: evGenerate, pkt: pkt})
+		pkts := w.Schedule(ctx.Rand, e.measureFrom, end, tr.NumLandmarks)
+		e.events.grow(len(pkts))
+		for _, pkt := range pkts {
+			e.push(event{t: pkt.Created, kind: evGenerate, pkt: pkt})
 		}
 	}
 	return e
@@ -343,19 +312,45 @@ func New(tr *trace.Trace, r Router, w *Workload, cfg Config) *Engine {
 // before Run, e.g. fault injection in the loop experiment).
 func (e *Engine) Context() *Context { return e.ctx }
 
-func (e *Engine) push(ev *event) {
+func (e *Engine) push(ev event) {
 	ev.seq = e.eventSeq
 	e.eventSeq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
+}
+
+// addPresent inserts n into landmark lm's ID-ordered presence set. The
+// insert is idempotent so malformed traces (zero-length visits) cannot
+// duplicate a node.
+func (e *Engine) addPresent(lm int, n *Node) {
+	s := e.present[lm]
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID >= n.ID })
+	if i < len(s) && s[i].ID == n.ID {
+		return
+	}
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = n
+	e.present[lm] = s
+}
+
+// removePresent deletes node id from landmark lm's presence set (no-op
+// when absent).
+func (e *Engine) removePresent(lm, id int) {
+	s := e.present[lm]
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID >= id })
+	if i < len(s) && s[i].ID == id {
+		copy(s[i:], s[i+1:])
+		s[len(s)-1] = nil
+		e.present[lm] = s[:len(s)-1]
+	}
 }
 
 // Run executes the simulation and returns the result. Packets still in
 // flight at the end are counted as failed.
 func (e *Engine) Run() *Result {
-	heap.Init(&e.events)
 	e.router.Init(e.ctx)
 	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.events.pop()
 		e.now = ev.t
 		switch ev.kind {
 		case evArrive:
@@ -364,7 +359,7 @@ func (e *Engine) Run() *Result {
 			n.At = v.Landmark
 			n.VisitStart = v.Start
 			n.VisitEnd = v.End
-			e.present[v.Landmark][v.Node] = true
+			e.addPresent(v.Landmark, n)
 			dur := v.End - v.Start
 			budget := int(e.ctx.Cfg.LinkRate * float64(dur))
 			if budget < 1 {
@@ -379,7 +374,7 @@ func (e *Engine) Run() *Result {
 		case evDepart:
 			v := ev.visit
 			n := e.ctx.Nodes[v.Node]
-			delete(e.present[v.Landmark], v.Node)
+			e.removePresent(v.Landmark, v.Node)
 			e.router.OnDepart(e.ctx, n, v.Landmark)
 			if n.At == v.Landmark {
 				n.At = -1

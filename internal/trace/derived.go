@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the lazily computed, concurrency-safe derived-data
+// cache attached to every Trace. Experiment sweeps run hundreds of
+// simulations against one shared trace, and several routers and statistics
+// re-derive the same artifacts (per-node visit groups, transits, landmark
+// sequences, per-unit link bandwidths) from the raw visit list. Each
+// artifact is computed once per trace, guarded by a sync.Once, and shared
+// by every reader afterwards.
+//
+// Aliasing contract: every accessor below returns the cached slice itself,
+// not a copy. Callers must treat the results as read-only; mutating them
+// corrupts the cache for every other reader. Code that mutates Visits or
+// Positions after derived data has been read must call InvalidateDerived
+// (SortVisits does this automatically) before the next derived read.
+
+// derived holds the memoized artifacts of one immutable snapshot of a
+// trace's visit list. Invalidation swaps the whole struct for a fresh one,
+// so in-flight readers of the old snapshot stay consistent.
+type derived struct {
+	spanOnce   sync.Once
+	start, end Time
+
+	byNodeOnce sync.Once
+	byNode     [][]Visit
+
+	transitsOnce sync.Once
+	transits     []Transit
+
+	seqsOnce sync.Once
+	seqs     [][]int
+
+	countsOnce sync.Once
+	counts     [][]int
+
+	mu         sync.Mutex
+	bandwidths map[Time][]LinkBandwidth
+}
+
+// deriv returns the current derived-data snapshot, allocating it on first
+// use. The atomic pointer keeps the accessor safe for concurrent readers
+// (parallel sweeps share one trace).
+func (tr *Trace) deriv() *derived {
+	if d := tr.derived.Load(); d != nil {
+		return d
+	}
+	// Several goroutines may race here; whichever CompareAndSwap wins, all
+	// end up using the same snapshot.
+	tr.derived.CompareAndSwap(nil, &derived{})
+	return tr.derived.Load()
+}
+
+// InvalidateDerived discards every cached derived artifact. Call it after
+// mutating Visits or Positions in place; SortVisits calls it automatically.
+func (tr *Trace) InvalidateDerived() {
+	tr.derived.Store(nil)
+}
+
+// cachedSpan memoizes Span.
+func (tr *Trace) cachedSpan() (start, end Time) {
+	d := tr.deriv()
+	d.spanOnce.Do(func() {
+		d.start, d.end = tr.computeSpan()
+	})
+	return d.start, d.end
+}
+
+// cachedVisitsByNode memoizes VisitsByNode.
+func (tr *Trace) cachedVisitsByNode() [][]Visit {
+	d := tr.deriv()
+	d.byNodeOnce.Do(func() {
+		d.byNode = tr.computeVisitsByNode()
+	})
+	return d.byNode
+}
+
+// cachedTransits memoizes Transits.
+func (tr *Trace) cachedTransits() []Transit {
+	d := tr.deriv()
+	d.transitsOnce.Do(func() {
+		d.transits = tr.ComputeTransits()
+	})
+	return d.transits
+}
+
+// cachedLandmarkSequences memoizes LandmarkSequences.
+func (tr *Trace) cachedLandmarkSequences() [][]int {
+	d := tr.deriv()
+	d.seqsOnce.Do(func() {
+		d.seqs = tr.computeLandmarkSequences()
+	})
+	return d.seqs
+}
+
+// cachedVisitCounts memoizes VisitCounts.
+func (tr *Trace) cachedVisitCounts() [][]int {
+	d := tr.deriv()
+	d.countsOnce.Do(func() {
+		d.counts = computeVisitCounts(tr)
+	})
+	return d.counts
+}
+
+// BandwidthsAt returns the per-link average transit bandwidths at the
+// given measurement unit, memoized per unit. Like every derived accessor,
+// the returned slice is shared — callers must not mutate it; use
+// Bandwidths for a freshly computed result.
+func (tr *Trace) BandwidthsAt(unit Time) []LinkBandwidth {
+	d := tr.deriv()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if bws, ok := d.bandwidths[unit]; ok {
+		return bws
+	}
+	bws := Bandwidths(tr, unit)
+	if d.bandwidths == nil {
+		d.bandwidths = make(map[Time][]LinkBandwidth, 2)
+	}
+	d.bandwidths[unit] = bws
+	return bws
+}
+
+// atomicDerived wraps the atomic snapshot pointer so Trace (a struct with
+// exported fields that callers construct with literals) keeps working with
+// a zero value.
+type atomicDerived struct {
+	p atomic.Pointer[derived]
+}
+
+func (a *atomicDerived) Load() *derived   { return a.p.Load() }
+func (a *atomicDerived) Store(d *derived) { a.p.Store(d) }
+func (a *atomicDerived) CompareAndSwap(old, new *derived) bool {
+	return a.p.CompareAndSwap(old, new)
+}
+
+// computeSpan is the uncached Span computation.
+func (tr *Trace) computeSpan() (start, end Time) {
+	if len(tr.Visits) == 0 {
+		return 0, 0
+	}
+	start = tr.Visits[0].Start
+	for _, v := range tr.Visits {
+		if v.Start < start {
+			start = v.Start
+		}
+		if v.End > end {
+			end = v.End
+		}
+	}
+	return start, end
+}
+
+// computeVisitsByNode is the uncached VisitsByNode computation.
+func (tr *Trace) computeVisitsByNode() [][]Visit {
+	counts := make([]int, tr.NumNodes)
+	for _, v := range tr.Visits {
+		if v.Node >= 0 && v.Node < tr.NumNodes {
+			counts[v.Node]++
+		}
+	}
+	// One backing array shared by all groups: a single allocation for the
+	// visit data, with each node's group a capped sub-slice of it.
+	backing := make([]Visit, len(tr.Visits))
+	out := make([][]Visit, tr.NumNodes)
+	offset := 0
+	for n, c := range counts {
+		out[n] = backing[offset : offset : offset+c]
+		offset += c
+	}
+	for _, v := range tr.Visits {
+		if v.Node >= 0 && v.Node < tr.NumNodes {
+			out[v.Node] = append(out[v.Node], v)
+		}
+	}
+	return out
+}
+
+// ComputeTransits extracts every transit without consulting or filling the
+// cache: for each node, consecutive visits to different landmarks become
+// one transit. Benchmarks and tools that want to measure or re-derive the
+// statistic use it; regular callers should prefer the memoized Transits.
+func (tr *Trace) ComputeTransits() []Transit {
+	var out []Transit
+	for n, vs := range tr.VisitsByNode() {
+		for i := 1; i < len(vs); i++ {
+			if vs[i].Landmark == vs[i-1].Landmark {
+				continue
+			}
+			out = append(out, Transit{
+				Node:   n,
+				From:   vs[i-1].Landmark,
+				To:     vs[i].Landmark,
+				Depart: vs[i-1].End,
+				Arrive: vs[i].Start,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arrive != out[j].Arrive {
+			return out[i].Arrive < out[j].Arrive
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// computeLandmarkSequences is the uncached LandmarkSequences computation.
+func (tr *Trace) computeLandmarkSequences() [][]int {
+	out := make([][]int, tr.NumNodes)
+	for n, vs := range tr.VisitsByNode() {
+		seq := make([]int, 0, len(vs))
+		for _, v := range vs {
+			if len(seq) == 0 || seq[len(seq)-1] != v.Landmark {
+				seq = append(seq, v.Landmark)
+			}
+		}
+		out[n] = seq
+	}
+	return out
+}

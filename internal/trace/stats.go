@@ -11,8 +11,14 @@ import (
 // distribution (Fig. 3, O2/O3) and bandwidth over time (Fig. 4, O4).
 
 // VisitCounts returns counts[l][n] = number of visits of node n to
-// landmark l.
+// landmark l. The result is memoized on the trace; callers must not
+// mutate it.
 func VisitCounts(tr *Trace) [][]int {
+	return tr.cachedVisitCounts()
+}
+
+// computeVisitCounts is the uncached VisitCounts computation.
+func computeVisitCounts(tr *Trace) [][]int {
 	counts := make([][]int, tr.NumLandmarks)
 	for i := range counts {
 		counts[i] = make([]int, tr.NumNodes)

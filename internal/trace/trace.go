@@ -57,12 +57,18 @@ type Transit struct {
 func (t Transit) Travel() Time { return t.Arrive - t.Depart }
 
 // Trace is a preprocessed mobility trace.
+//
+// Derived artifacts (Span, VisitsByNode, Transits, LandmarkSequences,
+// VisitCounts, BandwidthsAt) are memoized on first use and shared by all
+// readers — see derived.go for the aliasing and invalidation contract.
 type Trace struct {
 	Name         string
 	NumNodes     int
 	NumLandmarks int
 	Visits       []Visit     // sorted by Start, then Node
 	Positions    []geo.Point // optional landmark positions; len 0 or NumLandmarks
+
+	derived atomicDerived // lazily computed derived-data cache
 }
 
 // Clone returns a deep copy of the trace.
@@ -78,21 +84,9 @@ func (tr *Trace) Clone() *Trace {
 }
 
 // Span returns the first visit start and the last visit end. A trace with
-// no visits spans (0, 0).
+// no visits spans (0, 0). The result is memoized.
 func (tr *Trace) Span() (start, end Time) {
-	if len(tr.Visits) == 0 {
-		return 0, 0
-	}
-	start = tr.Visits[0].Start
-	for _, v := range tr.Visits {
-		if v.Start < start {
-			start = v.Start
-		}
-		if v.End > end {
-			end = v.End
-		}
-	}
-	return start, end
+	return tr.cachedSpan()
 }
 
 // Duration returns the total time spanned by the trace.
@@ -102,8 +96,10 @@ func (tr *Trace) Duration() Time {
 }
 
 // SortVisits sorts the visits by start time, breaking ties by node and then
-// landmark so the order is total and deterministic.
+// landmark so the order is total and deterministic. It invalidates the
+// derived-data cache.
 func (tr *Trace) SortVisits() {
+	tr.InvalidateDerived()
 	sort.Slice(tr.Visits, func(i, j int) bool {
 		a, b := tr.Visits[i], tr.Visits[j]
 		if a.Start != b.Start {
@@ -155,59 +151,28 @@ func (tr *Trace) Validate() error {
 	return nil
 }
 
-// VisitsByNode groups the visits per node, each group in time order.
+// VisitsByNode groups the visits per node, each group in time order. The
+// result is memoized; callers must not mutate the returned groups.
 func (tr *Trace) VisitsByNode() [][]Visit {
-	out := make([][]Visit, tr.NumNodes)
-	for _, v := range tr.Visits {
-		out[v.Node] = append(out[v.Node], v)
-	}
-	return out
+	return tr.cachedVisitsByNode()
 }
 
 // Transits extracts every transit in the trace: for each node, consecutive
 // visits to different landmarks become one transit. Consecutive visits to
 // the same landmark do not produce a transit (preprocessing merges them,
-// but generators may still emit them).
+// but generators may still emit them). The result is memoized; callers
+// must not mutate the returned slice (use ComputeTransits for a fresh
+// copy).
 func (tr *Trace) Transits() []Transit {
-	var out []Transit
-	for n, vs := range tr.VisitsByNode() {
-		for i := 1; i < len(vs); i++ {
-			if vs[i].Landmark == vs[i-1].Landmark {
-				continue
-			}
-			out = append(out, Transit{
-				Node:   n,
-				From:   vs[i-1].Landmark,
-				To:     vs[i].Landmark,
-				Depart: vs[i-1].End,
-				Arrive: vs[i].Start,
-			})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Arrive != out[j].Arrive {
-			return out[i].Arrive < out[j].Arrive
-		}
-		return out[i].Node < out[j].Node
-	})
-	return out
+	return tr.cachedTransits()
 }
 
 // LandmarkSequences returns, for each node, the ordered sequence of
 // landmarks it visited (after merging, consecutive entries differ). This is
-// the input to the order-k Markov predictor of Section IV-B.
+// the input to the order-k Markov predictor of Section IV-B. The result is
+// memoized; callers must not mutate the returned sequences.
 func (tr *Trace) LandmarkSequences() [][]int {
-	out := make([][]int, tr.NumNodes)
-	for n, vs := range tr.VisitsByNode() {
-		seq := make([]int, 0, len(vs))
-		for _, v := range vs {
-			if len(seq) == 0 || seq[len(seq)-1] != v.Landmark {
-				seq = append(seq, v.Landmark)
-			}
-		}
-		out[n] = seq
-	}
-	return out
+	return tr.cachedLandmarkSequences()
 }
 
 // Characteristics summarizes a trace in the style of Table I.

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Run the benchmark suite and render it into a JSON trajectory report.
+#
+# Usage:
+#   scripts/bench.sh [out.json [baseline.json]]
+#
+# The benchmark set covers the engine hot path (BenchmarkSimulate*), the
+# trace-analysis statistics (Transit/Bandwidths) and the Tiny-scale
+# experiment suites that dominate wall-clock (Fig11/Fig13/Table6/Fig16).
+# Raw output lands next to the report as <out>.raw.txt. With a baseline
+# (a prior snapshot from cmd/benchreport), the report contains
+# before/after numbers plus speedup ratios; without one it is a single
+# labelled snapshot suitable for use as the next baseline.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-bench.json}"
+baseline="${2:-}"
+raw="${out%.json}.raw.txt"
+
+pattern='^(BenchmarkSimulateDTNFLOW|BenchmarkSimulateBaselines|BenchmarkTransitExtraction|BenchmarkBandwidths|BenchmarkFig11MemoryDART|BenchmarkFig13RateDART|BenchmarkTable6DeadEnd|BenchmarkFig16Campus)$'
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime 10x -count 1 . | tee "$raw"
+
+if [ -n "$baseline" ]; then
+    go run ./cmd/benchreport -in "$raw" -label after -baseline "$baseline" -out "$out"
+else
+    go run ./cmd/benchreport -in "$raw" -label "$(git rev-parse --short HEAD 2>/dev/null || echo current)" -out "$out"
+fi

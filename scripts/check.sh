@@ -1,0 +1,18 @@
+#!/bin/sh
+# Pre-merge hygiene gate: formatting, vet, and the race detector over the
+# packages that share state across goroutines (the parallel experiment
+# sweep and the engine it drives).
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go test -race ./internal/experiment ./internal/sim
+
+echo "check.sh: all clean"
