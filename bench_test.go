@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/sim"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -92,6 +93,38 @@ func BenchmarkSimulateDTNFLOW(b *testing.B) {
 		success = res.Summary.SuccessRate
 	}
 	b.ReportMetric(success, "success")
+}
+
+// BenchmarkSimulateTelemetryOff measures the telemetry overhead contract:
+// the same Tiny-DART simulation as BenchmarkSimulateDTNFLOW with the
+// probe explicitly disabled (cfg.Probe = nil, the default). Its ns/op and
+// allocs/op must match BenchmarkSimulateDTNFLOW in BENCH_1.json — the
+// disabled probe points are branch-only and add 0 allocs/op.
+func BenchmarkSimulateTelemetryOff(b *testing.B) {
+	sc := experiment.DARTScenario(experiment.Tiny)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRouter("DTN-FLOW")
+		cfg := sc.Config(1)
+		cfg.Probe = nil
+		sim.New(sc.Trace, r, sc.Workload(sc.RateDef), cfg).Run()
+	}
+}
+
+// BenchmarkSimulateTelemetryOn measures the cost of full event recording
+// on the same simulation (ring preallocated once per iteration, outside
+// the measured hot loop's allocations).
+func BenchmarkSimulateTelemetryOn(b *testing.B) {
+	sc := experiment.DARTScenario(experiment.Tiny)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRouter("DTN-FLOW")
+		cfg := sc.Config(1)
+		cfg.Probe = telemetry.NewProbe(telemetry.NewRecorder(0))
+		sim.New(sc.Trace, r, sc.Workload(sc.RateDef), cfg).Run()
+	}
 }
 
 // BenchmarkSimulateBaselines measures the five baselines on Tiny-DART.

@@ -7,12 +7,22 @@
 //	dtnflow-sim -trace dnet -method PROPHET -rate 800 -memory 1200
 //	dtnflow-sim -trace file.trace -method PER -ttl 96h
 //	dtnflow-sim -trace dart -method DTN-FLOW -extensions
+//	dtnflow-sim -trace dart -method DTN-FLOW -json
+//	dtnflow-sim -trace dart -method DTN-FLOW -telemetry run.jsonl
+//
+// -telemetry records the packet-lifecycle event stream for offline
+// analysis with dtnflow-inspect (a .csv suffix selects CSV instead of
+// JSONL; CSV recordings carry no meta header and cannot be replayed).
+// -json replaces the human-readable report with one machine-readable
+// JSON object, including the telemetry counters when recording.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/baselines"
@@ -20,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -32,6 +43,9 @@ func main() {
 		ttl        = flag.Duration("ttl", 0, "packet TTL (0 = per-trace default)")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		extensions = flag.Bool("extensions", false, "enable DTN-FLOW's Section IV-E extensions")
+		jsonOut    = flag.Bool("json", false, "emit the result as one machine-readable JSON object")
+		telPath    = flag.String("telemetry", "", "record telemetry events to this file (.jsonl or .csv)")
+		telCap     = flag.Int("telemetry-cap", 0, "telemetry ring capacity in events (0 = default)")
 	)
 	flag.Parse()
 
@@ -47,6 +61,12 @@ func main() {
 	cfg.NodeMemory = *memoryKB * 1024
 	if *ttl > 0 {
 		cfg.TTL = trace.Time((*ttl).Seconds())
+	}
+
+	var rec *telemetry.Recorder
+	if *telPath != "" {
+		rec = telemetry.NewRecorder(*telCap)
+		cfg.Probe = telemetry.NewProbe(rec)
 	}
 
 	var router sim.Router
@@ -75,7 +95,48 @@ func main() {
 	w := sim.NewWorkload(*rate, cfg.PacketSize, cfg.TTL)
 	t0 := time.Now()
 	res := sim.New(tr, router, w, cfg).Run()
+	wall := time.Since(t0)
 	s := res.Summary
+
+	if rec != nil {
+		if err := writeRecording(rec, *telPath, telemetry.Meta{
+			Scenario:  *traceArg,
+			Method:    s.Method,
+			Seed:      *seed,
+			Nodes:     tr.NumNodes,
+			Landmarks: tr.NumLandmarks,
+			Unit:      cfg.Unit,
+			TTL:       cfg.TTL,
+			Warmup:    cfg.Warmup,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		out := jsonReport{
+			Trace:      *traceArg,
+			TraceInfo:  tr.Summarize().String(),
+			Method:     s.Method,
+			Seed:       *seed,
+			Summary:    s,
+			WallMillis: wall.Milliseconds(),
+		}
+		if rec != nil {
+			c := rec.Counters()
+			out.Telemetry = &c
+			out.TelemetryFile = *telPath
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("trace:           %s\n", tr.Summarize())
 	fmt.Printf("method:          %s\n", s.Method)
 	fmt.Printf("generated:       %d\n", s.Generated)
@@ -83,7 +144,42 @@ func main() {
 	fmt.Printf("average delay:   %s\n", metrics.FormatDuration(s.AvgDelay))
 	fmt.Printf("forwarding cost: %d\n", s.Forwarding)
 	fmt.Printf("total cost:      %d\n", s.TotalCost)
-	fmt.Printf("wall time:       %v\n", time.Since(t0).Round(time.Millisecond))
+	if rec != nil {
+		fmt.Printf("telemetry:       %d events -> %s (inspect with dtnflow-inspect -in %s)\n",
+			rec.Len(), *telPath, *telPath)
+	}
+	fmt.Printf("wall time:       %v\n", wall.Round(time.Millisecond))
+}
+
+// jsonReport is the -json output: the run identity, the paper's summary
+// metrics, and (when recording) the telemetry counter snapshot.
+type jsonReport struct {
+	Trace         string              `json:"trace"`
+	TraceInfo     string              `json:"trace_info"`
+	Method        string              `json:"method"`
+	Seed          int64               `json:"seed"`
+	Summary       metrics.Summary     `json:"summary"`
+	WallMillis    int64               `json:"wall_ms"`
+	Telemetry     *telemetry.Counters `json:"telemetry,omitempty"`
+	TelemetryFile string              `json:"telemetry_file,omitempty"`
+}
+
+// writeRecording exports the recorder to path, choosing CSV for a .csv
+// suffix and JSONL otherwise.
+func writeRecording(rec *telemetry.Recorder, path string, meta telemetry.Meta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = rec.WriteCSV(f)
+	} else {
+		err = rec.WriteJSONL(f, meta)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func loadTrace(arg string) (*trace.Trace, trace.Time, trace.Time, error) {

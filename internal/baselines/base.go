@@ -101,6 +101,9 @@ func (b *Base) OnContact(ctx *sim.Context, c *sim.Contact) {
 		b.exchange(ctx, c, m, n)
 		b.exchange(ctx, c, n, m)
 	}
+	if peers := len(present) - 1; peers > 0 {
+		ctx.Probe.Exchange(ctx.Now(), lm, n.ID, peers)
+	}
 }
 
 // exchange forwards packets held by from to to when to scores strictly
@@ -177,6 +180,10 @@ func (b *Base) stationHandoff(ctx *sim.Context, lm int, c *sim.Contact) {
 		if c != nil && best == c.Node {
 			cc = c
 		}
-		ctx.Download(cc, st, best, p)
+		if ctx.Download(cc, st, best, p) {
+			// Score-based methods route toward the destination itself;
+			// record the hand-off against the lm -> dst flow.
+			ctx.Probe.Assigned(now, p.ID, lm, p.Dst)
+		}
 	}
 }

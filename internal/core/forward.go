@@ -229,6 +229,7 @@ func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 		if !ctx.Download(cc, st, carrier, cd.p) {
 			continue
 		}
+		ctx.Probe.Assigned(now, cd.p.ID, lm, cd.target)
 		cd.p.NextHop = cd.target
 		cd.p.ExpDelay = cd.exp
 		ls.lbSent[cd.target]++

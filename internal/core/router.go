@@ -226,7 +226,9 @@ func (r *Router) OnContact(ctx *sim.Context, c *sim.Contact) {
 
 	// 2. Prediction-accuracy bookkeeping.
 	if ns.predicted >= 0 && ns.predFrom >= 0 && ns.predFrom != lm {
-		ns.acc.Record(ns.predicted == lm)
+		hit := ns.predicted == lm
+		ns.acc.Record(hit)
+		ctx.Probe.Predict(ctx.Now(), n.ID, ns.predicted, lm, hit)
 	}
 
 	// 3. Deliver carried control state.
@@ -353,6 +355,14 @@ func (r *Router) OnTimeUnit(ctx *sim.Context, seq int) {
 		ls.hopScratch = ls.table.AppendNextHops(ls.hopScratch[:0])
 		delays := ls.table.ToVector()
 		if !equalInts(ls.hopScratch, ls.lastHops) || delaysDrifted(delays, ls.lastDelays, 1.0) {
+			if ctx.Probe.Enabled() {
+				// Convergence delta: how many next hops moved and the
+				// largest relative delay drift since the last advertised
+				// state. Computed only when telemetry is on.
+				ctx.Probe.Recompute(ctx.Now(), lm,
+					countChangedHops(ls.lastHops, ls.hopScratch),
+					maxRelativeDrift(ls.lastDelays, delays))
+			}
 			ls.lastHops = append(ls.lastHops[:0], ls.hopScratch...)
 			ls.lastDelays = append(ls.lastDelays[:0], delays...)
 			ls.version++
@@ -484,6 +494,51 @@ func delaysDrifted(cur, last []float64, frac float64) bool {
 		}
 	}
 	return false
+}
+
+// countChangedHops returns how many next-hop entries differ between the
+// last advertised set and the current one (a fresh table counts every
+// entry). Telemetry-only; never on the disabled path.
+func countChangedHops(last, cur []int) int {
+	if len(last) != len(cur) {
+		return len(cur)
+	}
+	n := 0
+	for i := range cur {
+		if cur[i] != last[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// maxRelativeDrift returns the largest |cur-last|/last among entries
+// finite in both vectors (finite/infinite flips contribute 1).
+// Telemetry-only; never on the disabled path.
+func maxRelativeDrift(last, cur []float64) float64 {
+	if len(last) != len(cur) {
+		return 1
+	}
+	max := 0.0
+	for i := range cur {
+		a, b := last[i], cur[i]
+		finA, finB := a < routing.Infinite, b < routing.Infinite
+		switch {
+		case finA != finB:
+			if max < 1 {
+				max = 1
+			}
+		case finA && a > 0:
+			d := (b - a) / a
+			if d < 0 {
+				d = -d
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
 }
 
 func equalInts(a, b []int) bool {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Methods in the paper's comparison order.
@@ -42,6 +43,10 @@ type Run struct {
 	Rate     float64
 	Seed     int64
 	Tweak    func(*sim.Config)
+	// Probe, when non-nil, records telemetry for this run. Parallel
+	// sweeps must give each run its own recorder (the recorder, like the
+	// engine, is single-goroutine).
+	Probe *telemetry.Probe
 	// Setup runs after engine construction but before Run (fault
 	// injection, hooks).
 	Setup func(*sim.Engine, sim.Router)
@@ -50,6 +55,7 @@ type Run struct {
 // Execute performs one run and returns its summary.
 func (r Run) Execute() metrics.Summary {
 	cfg := r.Scenario.Config(r.Seed)
+	cfg.Probe = r.Probe
 	if r.Tweak != nil {
 		r.Tweak(&cfg)
 	}

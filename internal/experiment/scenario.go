@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -87,6 +88,21 @@ func (sc *Scenario) Config(seed int64) sim.Config {
 // Workload returns the scenario's default workload at the given rate.
 func (sc *Scenario) Workload(rate float64) *sim.Workload {
 	return sim.NewWorkload(rate, 1024, sc.TTL)
+}
+
+// Meta describes a run on this scenario for a telemetry recording
+// header (cmd/dtnflow-inspect labels its output from it).
+func (sc *Scenario) Meta(method string, seed int64) telemetry.Meta {
+	return telemetry.Meta{
+		Scenario:  sc.Name,
+		Method:    method,
+		Seed:      seed,
+		Nodes:     sc.Trace.NumNodes,
+		Landmarks: sc.Trace.NumLandmarks,
+		Unit:      sc.Unit,
+		TTL:       sc.TTL,
+		Warmup:    sc.Trace.Duration() / 4,
+	}
 }
 
 // DARTScenario returns the DART-like scenario: TTL 20 days, time unit

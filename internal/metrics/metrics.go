@@ -17,16 +17,29 @@ type DropReason int
 
 const (
 	DropTTL    DropReason = iota // time-to-live expired
-	DropNoRoom                   // no buffer space anywhere (not normally used)
+	DropNoRoom                   // no room at a capacity-limited station (sim.Config.StationMemory)
 	DropEnd                      // still in flight when the run ended
 )
+
+// DropReasonNames maps each DropReason to its wire name; its length is
+// the number of reasons (Collector.Dropped and the telemetry drop
+// counters are sized from it).
+var DropReasonNames = [3]string{"ttl", "noroom", "end"}
+
+// String returns the reason's wire name.
+func (r DropReason) String() string {
+	if r >= 0 && int(r) < len(DropReasonNames) {
+		return DropReasonNames[r]
+	}
+	return "unknown"
+}
 
 // Collector accumulates raw per-run measurements. The zero value is ready
 // to use.
 type Collector struct {
 	Generated      int
 	Delivered      int
-	Dropped        [3]int
+	Dropped        [len(DropReasonNames)]int
 	delays         []trace.Time
 	ForwardingOps  int64 // packet hand-offs between any two entities
 	ControlEntries int64 // routing/probability table entries transferred

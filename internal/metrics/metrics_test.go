@@ -40,6 +40,47 @@ func TestCollectorSummarize(t *testing.T) {
 	}
 }
 
+func TestDropReasonString(t *testing.T) {
+	cases := []struct {
+		r    DropReason
+		want string
+	}{
+		{DropTTL, "ttl"}, {DropNoRoom, "noroom"}, {DropEnd, "end"}, {DropReason(9), "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("DropReason(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+// TestDropAccounting covers the Dropped array for every reason: each
+// reason lands in its own slot, the slots sum to generated-delivered,
+// and DropNoRoom (raised by capacity-limited stations via
+// sim.Config.StationMemory) is a first-class reason, not dead state.
+func TestDropAccounting(t *testing.T) {
+	var c Collector
+	for i := 0; i < 6; i++ {
+		c.PacketGenerated()
+	}
+	c.PacketDelivered(50)
+	c.PacketDropped(DropTTL)
+	c.PacketDropped(DropTTL)
+	c.PacketDropped(DropNoRoom)
+	c.PacketDropped(DropEnd)
+	c.PacketDropped(DropEnd)
+	if c.Dropped[DropTTL] != 2 || c.Dropped[DropNoRoom] != 1 || c.Dropped[DropEnd] != 2 {
+		t.Errorf("Dropped = %v, want [2 1 2]", c.Dropped)
+	}
+	total := 0
+	for _, n := range c.Dropped {
+		total += n
+	}
+	if total != c.Generated-c.Delivered {
+		t.Errorf("drops (%d) + delivered (%d) != generated (%d)", total, c.Delivered, c.Generated)
+	}
+}
+
 func TestSummarizeNoDeliveries(t *testing.T) {
 	var c Collector
 	c.PacketGenerated()

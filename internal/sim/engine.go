@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -23,6 +24,13 @@ type Config struct {
 	LinkRate float64
 	// MaxContactTransfers caps the budget of a single contact (0 = no cap).
 	MaxContactTransfers int
+	// StationMemory limits each landmark station's buffer in bytes
+	// (<= 0 = unlimited, the paper's setting). Packets that find no room
+	// at a station are dropped with metrics.DropNoRoom.
+	StationMemory int64
+	// Probe receives telemetry events; nil (the default) disables
+	// telemetry at zero cost beyond one branch per probe point.
+	Probe *telemetry.Probe
 }
 
 // DefaultConfig returns the paper's default experiment settings for a
@@ -48,6 +56,9 @@ type Context struct {
 	Stations []*Station
 	Rand     *rand.Rand
 	Metrics  *metrics.Collector
+	// Probe is the telemetry hook (nil when telemetry is off; every
+	// method is a nil-safe no-op, so callers never check).
+	Probe *telemetry.Probe
 
 	engine *Engine
 }
@@ -116,17 +127,19 @@ func (ctx *Context) dropPacket(p *Packet, r metrics.DropReason) {
 		return
 	}
 	p.dropped = true
+	ctx.Probe.Dropped(ctx.engine.now, p.ID, r)
 	if p.Created >= ctx.engine.measureFrom {
 		ctx.Metrics.PacketDropped(r)
 	}
 }
 
-// deliverPacket marks p delivered at the current time.
-func (ctx *Context) deliverPacket(p *Packet) {
+// deliverPacket marks p delivered at the current time at landmark at.
+func (ctx *Context) deliverPacket(p *Packet, at int) {
 	if p.Done() {
 		return
 	}
 	p.delivered = true
+	ctx.Probe.Delivered(ctx.engine.now, p.ID, at, ctx.engine.now-p.Created)
 	if p.Created >= ctx.engine.measureFrom {
 		ctx.Metrics.PacketDelivered(ctx.engine.now - p.Created)
 	}
@@ -150,11 +163,16 @@ func (ctx *Context) Upload(c *Contact, n *Node, p *Packet) bool {
 	}
 	ctx.Metrics.Forwarded()
 	st := ctx.Stations[n.At]
+	ctx.Probe.Forwarded(ctx.engine.now, telemetry.HopUpload, p.ID, n.ID, st.ID)
 	if st.ID == p.Dst && p.DstNode < 0 {
-		ctx.deliverPacket(p)
+		ctx.deliverPacket(p, st.ID)
 		return true
 	}
-	st.Buffer.Add(p)
+	if !st.Buffer.Add(p) {
+		ctx.dropPacket(p, metrics.DropNoRoom)
+		return true
+	}
+	ctx.Probe.Queued(ctx.engine.now, p.ID, st.ID, st.Buffer.Len())
 	return true
 }
 
@@ -177,6 +195,7 @@ func (ctx *Context) Download(c *Contact, st *Station, n *Node, p *Packet) bool {
 		panic(fmt.Sprintf("sim: download of %v not held by station %d", p, st.ID))
 	}
 	ctx.Metrics.Forwarded()
+	ctx.Probe.Forwarded(ctx.engine.now, telemetry.HopDownload, p.ID, st.ID, n.ID)
 	n.Buffer.Add(p)
 	return true
 }
@@ -199,6 +218,7 @@ func (ctx *Context) Relay(c *Contact, from, to *Node, p *Packet) bool {
 		panic(fmt.Sprintf("sim: relay of %v not held by node %d", p, from.ID))
 	}
 	ctx.Metrics.Forwarded()
+	ctx.Probe.Forwarded(ctx.engine.now, telemetry.HopRelay, p.ID, from.ID, to.ID)
 	to.Buffer.Add(p)
 	return true
 }
@@ -207,7 +227,7 @@ func (ctx *Context) Relay(c *Contact, from, to *Node, p *Packet) bool {
 // n (node-routing mode, Section IV-E.4).
 func (ctx *Context) DeliverToNode(n *Node, p *Packet) {
 	n.Buffer.Remove(p)
-	ctx.deliverPacket(p)
+	ctx.deliverPacket(p, n.At)
 }
 
 // DeliverFromStation marks a packet held by station st as delivered (used
@@ -222,7 +242,8 @@ func (ctx *Context) DeliverFromStation(st *Station, n *Node, p *Packet) bool {
 		return false
 	}
 	ctx.Metrics.Forwarded()
-	ctx.deliverPacket(p)
+	ctx.Probe.Forwarded(ctx.engine.now, telemetry.HopDownload, p.ID, st.ID, n.ID)
+	ctx.deliverPacket(p, st.ID)
 	return true
 }
 
@@ -270,13 +291,14 @@ func New(tr *trace.Trace, r Router, w *Workload, cfg Config) *Engine {
 		Cfg:     cfg,
 		Rand:    rand.New(rand.NewSource(cfg.Seed)),
 		Metrics: &metrics.Collector{},
+		Probe:   cfg.Probe,
 		engine:  e,
 	}
 	for i := 0; i < tr.NumNodes; i++ {
 		ctx.Nodes = append(ctx.Nodes, &Node{ID: i, Buffer: NewBuffer(cfg.NodeMemory), At: -1, Prev: -1})
 	}
 	for i := 0; i < tr.NumLandmarks; i++ {
-		ctx.Stations = append(ctx.Stations, &Station{ID: i, Buffer: NewBuffer(0)})
+		ctx.Stations = append(ctx.Stations, &Station{ID: i, Buffer: NewBuffer(cfg.StationMemory)})
 	}
 	e.ctx = ctx
 	e.present = make([][]*Node, tr.NumLandmarks)
@@ -386,14 +408,25 @@ func (e *Engine) Run() *Result {
 			if p.Created >= e.measureFrom {
 				e.ctx.Metrics.PacketGenerated()
 			}
+			e.ctx.Probe.Generated(e.now, p.ID, p.Src, p.Dst)
 			if p.Src == p.Dst && p.DstNode < 0 {
-				e.ctx.deliverPacket(p)
+				e.ctx.deliverPacket(p, p.Src)
 				continue
 			}
-			e.ctx.Stations[p.Src].Buffer.Add(p)
+			st := e.ctx.Stations[p.Src]
+			if !st.Buffer.Add(p) {
+				e.ctx.dropPacket(p, metrics.DropNoRoom)
+				continue
+			}
+			e.ctx.Probe.Queued(e.now, p.ID, p.Src, st.Buffer.Len())
 			p.Path = append(p.Path, p.Src)
 			e.router.OnGenerate(e.ctx, p)
 		case evUnit:
+			if prb := e.ctx.Probe; prb.Enabled() {
+				for lm, st := range e.ctx.Stations {
+					prb.QueueDepth(e.now, lm, st.Buffer.Len())
+				}
+			}
 			e.nextUnit = ev.unit + 1
 			e.router.OnTimeUnit(e.ctx, ev.unit)
 		case evTimer:

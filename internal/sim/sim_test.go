@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -277,6 +278,66 @@ func (h *hookRouter) OnContact(ctx *Context, c *Contact) {
 func (h *hookRouter) OnDepart(ctx *Context, n *Node, lm int) {}
 func (h *hookRouter) OnGenerate(ctx *Context, p *Packet)     {}
 func (h *hookRouter) OnTimeUnit(ctx *Context, seq int)       {}
+
+// TestStationMemoryDropNoRoom checks the DropNoRoom wiring: with a
+// capacity-limited station and a router that never drains it, packets
+// generated beyond the capacity are dropped with DropNoRoom and the
+// accounting still balances.
+func TestStationMemoryDropNoRoom(t *testing.T) {
+	tr := twoHopTrace(4)
+	cfg := Config{Seed: 1, PacketSize: 1, NodeMemory: 10, StationMemory: 2,
+		TTL: 1 << 30, Unit: 1 << 40, LinkRate: 1}
+	w := NewWorkload(5000, 1, 1<<30)
+	res := New(tr, &hookRouter{}, w, cfg).Run()
+	if res.Summary.Generated < 3 {
+		t.Fatalf("generated = %d, want enough to overflow a 2-byte station", res.Summary.Generated)
+	}
+	// Each of the two stations can hold 2 one-byte packets; those linger
+	// to the end of the run (DropEnd), everything else bounces (NoRoom).
+	noRoom := res.Raw.Dropped[metrics.DropNoRoom]
+	if noRoom < res.Summary.Generated-4 || noRoom == 0 {
+		t.Errorf("DropNoRoom = %d, want >= generated-4 = %d", noRoom, res.Summary.Generated-4)
+	}
+	total := res.Summary.Delivered
+	for _, n := range res.Raw.Dropped {
+		total += n
+	}
+	if total != res.Summary.Generated {
+		t.Errorf("accounting mismatch: delivered+drops = %d, generated = %d", total, res.Summary.Generated)
+	}
+}
+
+// TestEngineEmitsTelemetry checks the engine-side probe points: the
+// recorded generated/forwarded/delivered totals equal the metrics
+// counters, and queue depths are sampled at unit boundaries.
+func TestEngineEmitsTelemetry(t *testing.T) {
+	tr := twoHopTrace(40)
+	rec := telemetry.NewRecorder(1 << 16)
+	cfg := Config{Seed: 1, PacketSize: 1, NodeMemory: 1 << 20, TTL: trace.Day, Unit: 1000,
+		LinkRate: 100, Probe: telemetry.NewProbe(rec)}
+	w := NewWorkload(2000, 1, trace.Day)
+	res := New(tr, &recordingRouter{}, w, cfg).Run()
+	c := rec.Counters()
+	if int(c.Events["generated"]) != res.Summary.Generated {
+		t.Errorf("generated: telemetry %d vs metrics %d", c.Events["generated"], res.Summary.Generated)
+	}
+	if int(c.Events["delivered"]) != res.Summary.Delivered {
+		t.Errorf("delivered: telemetry %d vs metrics %d", c.Events["delivered"], res.Summary.Delivered)
+	}
+	if int64(c.Events["forwarded"]) != res.Raw.ForwardingOps {
+		t.Errorf("forwarded: telemetry %d vs metrics %d", c.Events["forwarded"], res.Raw.ForwardingOps)
+	}
+	var drops uint64
+	for _, n := range c.Drops {
+		drops += n
+	}
+	if int(drops) != res.Summary.Generated-res.Summary.Delivered {
+		t.Errorf("drops: telemetry %d vs metrics %d", drops, res.Summary.Generated-res.Summary.Delivered)
+	}
+	if c.Events["queuedepth"] == 0 {
+		t.Error("no queue-depth samples at unit boundaries")
+	}
+}
 
 func TestSrcEqualsDstDeliversInstantly(t *testing.T) {
 	tr := twoHopTrace(2)

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Meta identifies the run a recording came from; it is written as the
+// first JSONL line (or a comment-free CSV is meta-less) so the inspector
+// can label its output and size its matrices.
+type Meta struct {
+	Scenario  string     `json:"scenario"`
+	Method    string     `json:"method"`
+	Seed      int64      `json:"seed"`
+	Nodes     int        `json:"nodes"`
+	Landmarks int        `json:"landmarks"`
+	Unit      trace.Time `json:"unit"`
+	TTL       trace.Time `json:"ttl"`
+	Warmup    trace.Time `json:"warmup"`
+}
+
+// jsonlHeader wraps Meta so the first line is distinguishable from an
+// event line.
+type jsonlHeader struct {
+	Meta *Meta `json:"meta"`
+}
+
+// WriteJSONL writes the recording as one JSON object per line: a meta
+// header first, then every held event in chronological order.
+func (r *Recorder) WriteJSONL(w io.Writer, meta Meta) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Meta: &meta}); err != nil {
+		return err
+	}
+	for _, ev := range r.Events(nil) {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// csvHeader is the column set of the CSV export.
+var csvHeader = []string{"time", "kind", "hop", "packet", "a", "b", "aux", "value"}
+
+// WriteCSV writes the held events as CSV with a header row, using the
+// human-readable kind and hop names.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for _, ev := range r.Events(nil) {
+		row[0] = strconv.FormatInt(int64(ev.T), 10)
+		row[1] = ev.Kind.String()
+		row[2] = ""
+		if ev.Kind == EvForwarded {
+			row[2] = ev.Hop.String()
+		}
+		row[3] = strconv.Itoa(int(ev.Pkt))
+		row[4] = strconv.Itoa(int(ev.A))
+		row[5] = strconv.Itoa(int(ev.B))
+		row[6] = strconv.Itoa(int(ev.Aux))
+		row[7] = strconv.FormatFloat(ev.V, 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Log is a loaded recording: the run's meta plus its events in
+// chronological order. Build one with ReadJSONL or from a live recorder
+// via NewLog.
+type Log struct {
+	Meta   Meta
+	Events []Event
+}
+
+// NewLog snapshots a live recorder into a Log (no file round-trip).
+func NewLog(r *Recorder, meta Meta) *Log {
+	return &Log{Meta: meta, Events: r.Events(nil)}
+}
+
+// ReadJSONL loads a recording written by WriteJSONL. A missing meta
+// header is tolerated (the meta is zero and landmark counts are inferred
+// by the analyses).
+func ReadJSONL(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	log := &Log{}
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			var hdr jsonlHeader
+			if err := json.Unmarshal([]byte(line), &hdr); err == nil && hdr.Meta != nil {
+				log.Meta = *hdr.Meta
+				continue
+			}
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: bad event line %q: %w", line, err)
+		}
+		log.Events = append(log.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}

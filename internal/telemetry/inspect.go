@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// This file reconstructs per-packet lifecycles from a recorded event
+// stream and derives the run-inspector views: per-landmark flow
+// matrices, hop-count and delay histograms, and the most heavily used
+// transit links. All analyses work on a Log, whether loaded from a JSONL
+// file or snapshotted from a live recorder.
+
+// PacketStatus is a packet's terminal state in the recording.
+type PacketStatus uint8
+
+// Packet terminal states.
+const (
+	StatusInFlight PacketStatus = iota // no terminal event recorded
+	StatusDelivered
+	StatusDropped
+)
+
+// String names the status.
+func (s PacketStatus) String() string {
+	switch s {
+	case StatusDelivered:
+		return "delivered"
+	case StatusDropped:
+		return "dropped"
+	default:
+		return "in-flight"
+	}
+}
+
+// PacketTrace is one packet's reconstructed lifecycle.
+type PacketTrace struct {
+	ID       int
+	Src, Dst int
+	Created  trace.Time
+	Finished trace.Time // delivery/drop time (0 while in flight)
+	// Stations is the landmark path: the source, every landmark whose
+	// station held the packet, and the delivery landmark.
+	Stations []int
+	Hops     int // forwarding operations (uploads + downloads + relays)
+	Status   PacketStatus
+	Reason   metrics.DropReason // valid when Status == StatusDropped
+	Delay    trace.Time         // end-to-end (valid when delivered)
+}
+
+// Packets reconstructs every packet seen in the log, sorted by ID.
+// Packets whose generation fell out of a wrapped ring still appear, with
+// the path reconstructed from their remaining events.
+func (l *Log) Packets() []*PacketTrace {
+	byID := make(map[int]*PacketTrace)
+	get := func(id int) *PacketTrace {
+		pt := byID[id]
+		if pt == nil {
+			pt = &PacketTrace{ID: id, Src: -1, Dst: -1}
+			byID[id] = pt
+		}
+		return pt
+	}
+	for _, ev := range l.Events {
+		if ev.Pkt < 0 {
+			continue
+		}
+		pt := get(int(ev.Pkt))
+		switch ev.Kind {
+		case EvGenerated:
+			pt.Src, pt.Dst = int(ev.A), int(ev.B)
+			pt.Created = ev.T
+			pt.Stations = append(pt.Stations, int(ev.A))
+		case EvForwarded:
+			pt.Hops++
+			if ev.Hop == HopUpload {
+				pt.appendStation(int(ev.B))
+			}
+		case EvDelivered:
+			pt.Status = StatusDelivered
+			pt.Finished = ev.T
+			pt.Delay = trace.Time(ev.V)
+			pt.appendStation(int(ev.A))
+		case EvDropped:
+			pt.Status = StatusDropped
+			pt.Finished = ev.T
+			pt.Reason = metrics.DropReason(ev.Aux)
+		}
+	}
+	out := make([]*PacketTrace, 0, len(byID))
+	for _, pt := range byID {
+		out = append(out, pt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (pt *PacketTrace) appendStation(lm int) {
+	if n := len(pt.Stations); n > 0 && pt.Stations[n-1] == lm {
+		return
+	}
+	pt.Stations = append(pt.Stations, lm)
+}
+
+// Packet reconstructs a single packet's lifecycle, reporting whether the
+// log holds any event for it.
+func (l *Log) Packet(id int) (*PacketTrace, bool) {
+	for _, pt := range l.Packets() {
+		if pt.ID == id {
+			return pt, true
+		}
+	}
+	return nil, false
+}
+
+// numLandmarks returns the landmark count: the meta's when present,
+// otherwise one past the largest landmark index observed in station
+// paths.
+func (l *Log) numLandmarks(pkts []*PacketTrace) int {
+	if l.Meta.Landmarks > 0 {
+		return l.Meta.Landmarks
+	}
+	max := -1
+	for _, pt := range pkts {
+		for _, lm := range pt.Stations {
+			if lm > max {
+				max = lm
+			}
+		}
+	}
+	return max + 1
+}
+
+// FlowMatrix returns flow[i][j]: the number of packets whose station
+// path traversed the directed inter-landmark link i->j.
+func (l *Log) FlowMatrix() [][]int {
+	pkts := l.Packets()
+	n := l.numLandmarks(pkts)
+	flow := make([][]int, n)
+	for i := range flow {
+		flow[i] = make([]int, n)
+	}
+	for _, pt := range pkts {
+		for i := 1; i < len(pt.Stations); i++ {
+			from, to := pt.Stations[i-1], pt.Stations[i]
+			if from >= 0 && from < n && to >= 0 && to < n {
+				flow[from][to]++
+			}
+		}
+	}
+	return flow
+}
+
+// Link is one directed inter-landmark transit link with its traversal
+// count.
+type Link struct {
+	From, To int
+	Packets  int
+}
+
+// TopLinks returns the k most-traversed transit links, busiest first
+// (ties break on (From, To) for determinism). k <= 0 returns all used
+// links.
+func (l *Log) TopLinks(k int) []Link {
+	flow := l.FlowMatrix()
+	var links []Link
+	for i, row := range flow {
+		for j, c := range row {
+			if c > 0 {
+				links = append(links, Link{From: i, To: j, Packets: c})
+			}
+		}
+	}
+	sort.Slice(links, func(a, b int) bool {
+		if links[a].Packets != links[b].Packets {
+			return links[a].Packets > links[b].Packets
+		}
+		if links[a].From != links[b].From {
+			return links[a].From < links[b].From
+		}
+		return links[a].To < links[b].To
+	})
+	if k > 0 && len(links) > k {
+		links = links[:k]
+	}
+	return links
+}
+
+// LandmarkLoad is one landmark's aggregate traffic view.
+type LandmarkLoad struct {
+	Landmark  int
+	Generated int // packets generated here
+	Received  int // station-path arrivals (incoming flow)
+	Sent      int // station-path departures (outgoing flow)
+	Delivered int // packets delivered here
+	MaxQueue  int // largest sampled or recorded queue depth
+}
+
+// LandmarkLoads aggregates per-landmark traffic, index-aligned with the
+// landmark IDs.
+func (l *Log) LandmarkLoads() []LandmarkLoad {
+	pkts := l.Packets()
+	n := l.numLandmarks(pkts)
+	loads := make([]LandmarkLoad, n)
+	for i := range loads {
+		loads[i].Landmark = i
+	}
+	at := func(lm int) *LandmarkLoad {
+		if lm >= 0 && lm < n {
+			return &loads[lm]
+		}
+		return &LandmarkLoad{}
+	}
+	for _, pt := range pkts {
+		if pt.Src >= 0 {
+			at(pt.Src).Generated++
+		}
+		for i := 1; i < len(pt.Stations); i++ {
+			at(pt.Stations[i-1]).Sent++
+			at(pt.Stations[i]).Received++
+		}
+		if pt.Status == StatusDelivered && len(pt.Stations) > 0 {
+			at(pt.Stations[len(pt.Stations)-1]).Delivered++
+		}
+	}
+	for _, ev := range l.Events {
+		if ev.Kind == EvQueueDepth || ev.Kind == EvQueued {
+			if ld := at(int(ev.A)); int(ev.Aux) > ld.MaxQueue {
+				ld.MaxQueue = int(ev.Aux)
+			}
+		}
+	}
+	return loads
+}
+
+// HopHistogram counts delivered packets by their landmark-path hop count
+// (len(Stations)-1); index i holds the number of packets that crossed i
+// inter-landmark links.
+func (l *Log) HopHistogram() []int {
+	var hist []int
+	for _, pt := range l.Packets() {
+		if pt.Status != StatusDelivered {
+			continue
+		}
+		h := len(pt.Stations) - 1
+		if h < 0 {
+			h = 0
+		}
+		for len(hist) <= h {
+			hist = append(hist, 0)
+		}
+		hist[h]++
+	}
+	return hist
+}
+
+// DelayHistogram buckets delivered packets' end-to-end delays into
+// equal-width buckets of the given width (seconds). It returns the
+// bucket counts and the width actually used (a day when width <= 0).
+func (l *Log) DelayHistogram(width trace.Time) (counts []int, usedWidth trace.Time) {
+	if width <= 0 {
+		width = trace.Day
+	}
+	for _, pt := range l.Packets() {
+		if pt.Status != StatusDelivered {
+			continue
+		}
+		b := int(pt.Delay / width)
+		for len(counts) <= b {
+			counts = append(counts, 0)
+		}
+		counts[b]++
+	}
+	return counts, width
+}
