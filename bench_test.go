@@ -142,6 +142,45 @@ func BenchmarkSimulateBaselines(b *testing.B) {
 	}
 }
 
+// benchSweep measures the warm-state forking subsystem end to end: a
+// 5-seed, all-method sweep on Tiny DART at the low fig-13 packet rate,
+// configured for the learning-dominated regime the subsystem targets
+// (warmup = 2/3 of the trace; the paper's figures burn 1/4). Fresh and
+// forked paths run the identical configuration and produce bit-identical
+// points (asserted by TestSweepForkEquivalence); the benchmark pair
+// isolates the wall-clock difference of re-simulating the warmup per seed
+// versus forking it from one snapshot per (x, method) cell.
+func benchSweep(b *testing.B, noFork bool) {
+	sc := experiment.DARTScenario(experiment.Tiny)
+	warmup := sc.Trace.Duration() * 2 / 3
+	opt := experiment.Options{Scale: experiment.Tiny, Seeds: 5, NoFork: noFork}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := experiment.Sweep(experiment.MethodNames, []float64{50}, opt,
+			func(m string, x float64, seed int64) experiment.Run {
+				return experiment.Run{
+					Scenario: sc,
+					Router:   func() sim.Router { return experiment.NewRouter(m) },
+					Rate:     x,
+					Seed:     seed,
+					Tweak:    func(cfg *sim.Config) { cfg.Warmup = warmup },
+				}
+			})
+		if len(points) == 0 {
+			b.Fatal("sweep produced no points")
+		}
+	}
+}
+
+// BenchmarkSweepFresh runs the sweep with every seed simulating its own
+// warmup (Options.NoFork).
+func BenchmarkSweepFresh(b *testing.B) { benchSweep(b, true) }
+
+// BenchmarkSweepForked runs the same sweep with warm-state forking (the
+// default): one warmup per (x, method) cell, five forked measured runs.
+func BenchmarkSweepForked(b *testing.B) { benchSweep(b, false) }
+
 // BenchmarkTraceGeneration measures the synthetic generators at full paper
 // scale.
 func BenchmarkTraceGeneration(b *testing.B) {

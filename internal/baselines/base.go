@@ -29,6 +29,10 @@ type Method interface {
 	// within the remaining time budget; higher is better, <= 0 means
 	// unsuitable.
 	Score(ctx *sim.Context, node int, dst int, remaining trace.Time) float64
+	// Clone returns an independent deep copy of the method's state for
+	// warm-state forking (sim.Cloner). It must be a pure read of the
+	// receiver: clones of one frozen method are taken concurrently.
+	Clone() Method
 }
 
 // Base adapts a Method into a sim.Router.
@@ -43,10 +47,20 @@ type Base struct {
 	pktScratch  []*sim.Packet
 }
 
-var _ sim.Router = (*Base)(nil)
+var (
+	_ sim.Router = (*Base)(nil)
+	_ sim.Cloner = (*Base)(nil)
+)
 
 // NewBase wraps a method.
 func NewBase(m Method) *Base { return &Base{m: m} }
+
+// CloneRouter implements sim.Cloner: a new chassis around a deep copy of
+// the method's state. The scratch buffers start fresh — they are reset
+// before every use and carry no state between contacts.
+func (b *Base) CloneRouter(ctx *sim.Context) sim.Router {
+	return &Base{m: b.m.Clone()}
+}
 
 // Name implements sim.Router.
 func (b *Base) Name() string { return b.m.Name() }

@@ -23,6 +23,18 @@ func NewGeoComm() *GeoComm { return &GeoComm{} }
 // Name implements Method.
 func (m *GeoComm) Name() string { return "GeoComm" }
 
+// Clone implements Method.
+func (m *GeoComm) Clone() Method {
+	cp := &GeoComm{}
+	cp.contact = make([][]trace.Time, len(m.contact))
+	for i, c := range m.contact {
+		cp.contact[i] = append([]trace.Time(nil), c...)
+	}
+	cp.started = append([]trace.Time(nil), m.started...)
+	cp.seen = append([]bool(nil), m.seen...)
+	return cp
+}
+
 // Init implements Method.
 func (m *GeoComm) Init(ctx *sim.Context) {
 	m.contact = make([][]trace.Time, len(ctx.Nodes))

@@ -61,6 +61,41 @@ func NewPER() *PER { return &PER{MaxSteps: 16} }
 // Name implements Method.
 func (m *PER) Name() string { return "PER" }
 
+// Clone implements Method. The semi-Markov model and the per-node
+// hitting-probability caches are deep-copied; the recursion scratch
+// buffers start fresh (hitting re-sizes them on demand).
+func (m *PER) Clone() Method {
+	cp := &PER{
+		MaxSteps: m.MaxSteps,
+		stepSum:  append([]trace.Time(nil), m.stepSum...),
+		stepCnt:  append([]int(nil), m.stepCnt...),
+		last:     append([]int(nil), m.last...),
+		lastTime: append([]trace.Time(nil), m.lastTime...),
+		cacheLm:  append([]int(nil), m.cacheLm...),
+		cacheStep: append([]int(nil),
+			m.cacheStep...),
+	}
+	cp.trans = make([][]transRow, len(m.trans))
+	for i, rows := range m.trans {
+		cprows := make([]transRow, len(rows))
+		for j, row := range rows {
+			cprows[j] = transRow{
+				to:    append([]int32(nil), row.to...),
+				cnt:   append([]int32(nil), row.cnt...),
+				total: row.total,
+			}
+		}
+		cp.trans[i] = cprows
+	}
+	cp.cacheProb = make([][]float64, len(m.cacheProb))
+	for i, probs := range m.cacheProb {
+		if probs != nil {
+			cp.cacheProb[i] = append([]float64(nil), probs...)
+		}
+	}
+	return cp
+}
+
 // Init implements Method.
 func (m *PER) Init(ctx *sim.Context) {
 	nN := len(ctx.Nodes)

@@ -29,6 +29,40 @@ func NewPGR() *PGR { return &PGR{Horizon: 5} }
 // Name implements Method.
 func (m *PGR) Name() string { return "PGR" }
 
+// Clone implements Method. Predicted-route caches are carried over: the
+// route choice is deterministic (highest count, ties to the lowest
+// landmark), so a clone recomputing from the copied counts would produce
+// the same routes.
+func (m *PGR) Clone() Method {
+	cp := &PGR{
+		Horizon: m.Horizon,
+		last:    append([]int(nil), m.last...),
+		cacheAt: append([]int(nil), m.cacheAt...),
+	}
+	cp.trans = make([][]map[int]int, len(m.trans))
+	for i, rows := range m.trans {
+		cprows := make([]map[int]int, len(rows))
+		for j, nm := range rows {
+			if nm == nil {
+				continue
+			}
+			inner := make(map[int]int, len(nm))
+			for next, c := range nm {
+				inner[next] = c
+			}
+			cprows[j] = inner
+		}
+		cp.trans[i] = cprows
+	}
+	cp.cacheRoute = make([][]int, len(m.cacheRoute))
+	for i, route := range m.cacheRoute {
+		if route != nil {
+			cp.cacheRoute[i] = append([]int(nil), route...)
+		}
+	}
+	return cp
+}
+
 // Init implements Method.
 func (m *PGR) Init(ctx *sim.Context) {
 	m.trans = make([][]map[int]int, len(ctx.Nodes))

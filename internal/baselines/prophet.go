@@ -30,6 +30,17 @@ func NewPROPHET() *PROPHET {
 // Name implements Method.
 func (m *PROPHET) Name() string { return "PROPHET" }
 
+// Clone implements Method.
+func (m *PROPHET) Clone() Method {
+	cp := &PROPHET{PInit: m.PInit, GammaAge: m.GammaAge, AgeUnit: m.AgeUnit}
+	cp.p = make([][]float64, len(m.p))
+	for i, vec := range m.p {
+		cp.p[i] = append([]float64(nil), vec...)
+	}
+	cp.lastAge = append([]trace.Time(nil), m.lastAge...)
+	return cp
+}
+
 // Init implements Method.
 func (m *PROPHET) Init(ctx *sim.Context) {
 	m.p = make([][]float64, len(ctx.Nodes))

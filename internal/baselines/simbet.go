@@ -27,6 +27,18 @@ func NewSimBet() *SimBet { return &SimBet{Alpha: 0.4} }
 // Name implements Method.
 func (m *SimBet) Name() string { return "SimBet" }
 
+// Clone implements Method.
+func (m *SimBet) Clone() Method {
+	cp := &SimBet{Alpha: m.Alpha, nLm: m.nLm}
+	cp.visits = make([][]int, len(m.visits))
+	for i, v := range m.visits {
+		cp.visits[i] = append([]int(nil), v...)
+	}
+	cp.total = append([]int(nil), m.total...)
+	cp.degree = append([]int(nil), m.degree...)
+	return cp
+}
+
 // Init implements Method.
 func (m *SimBet) Init(ctx *sim.Context) {
 	m.nLm = ctx.NumLandmarks()

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/predict"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -81,15 +79,15 @@ type landmarkState struct {
 	// forcedUntil, per destination, keeps forced re-advertisement active.
 	forcedUntil map[int]trace.Time
 	// Load balancing: packets assigned to / sent through each outgoing
-	// link this unit, and their EWMA rates.
-	lbAssigned map[int]float64
-	lbSent     map[int]float64
-	lbInRate   map[int]float64
-	lbOutRate  map[int]float64
+	// link this unit, and their EWMA rates — dense per landmark, so the
+	// per-unit fold is one pass over the indices with no key collection.
+	lbAssigned []float64
+	lbSent     []float64
+	lbInRate   []float64
+	lbOutRate  []float64
 
 	// Reusable scratch for per-unit and per-departure bookkeeping.
 	nbrScratch []int
-	keyScratch []int
 	hopScratch []int
 }
 
@@ -180,10 +178,10 @@ func (r *Router) Init(ctx *sim.Context) {
 			hasPending:  make([]bool, nL),
 			version:     1,
 			forcedUntil: map[int]trace.Time{},
-			lbAssigned:  map[int]float64{},
-			lbSent:      map[int]float64{},
-			lbInRate:    map[int]float64{},
-			lbOutRate:   map[int]float64{},
+			lbAssigned:  make([]float64, nL),
+			lbSent:      make([]float64, nL),
+			lbInRate:    make([]float64, nL),
+			lbOutRate:   make([]float64, nL),
 		}
 	}
 	r.freq = make([][]int, len(ctx.Nodes))
@@ -377,13 +375,12 @@ func (r *Router) OnTimeUnit(ctx *sim.Context, seq int) {
 		}
 		ls.notices = keep
 		// Fold load-balancing rates (EWMA with the same ρ as bandwidth).
+		// The slices are dense, so folding every index is exact: links
+		// untouched this unit fold ρ·0+(1−ρ)·rate, just as the sparse
+		// key-union did for rate-only keys.
 		rho := r.cfg.Rho
-		ls.keyScratch = appendKeys2(ls.keyScratch[:0], ls.lbAssigned, ls.lbInRate)
-		for _, link := range ls.keyScratch {
+		for link := range ls.lbInRate {
 			ls.lbInRate[link] = rho*ls.lbAssigned[link] + (1-rho)*ls.lbInRate[link]
-		}
-		ls.keyScratch = appendKeys2(ls.keyScratch[:0], ls.lbSent, ls.lbOutRate)
-		for _, link := range ls.keyScratch {
 			ls.lbOutRate[link] = rho*ls.lbSent[link] + (1-rho)*ls.lbOutRate[link]
 		}
 		clear(ls.lbAssigned)
@@ -563,19 +560,4 @@ func equalFloats(a, b []float64) bool {
 		}
 	}
 	return true
-}
-
-// appendKeys2 appends the union of the two maps' keys to dst, sorted.
-// Callers pass a reusable scratch slice.
-func appendKeys2(dst []int, a, b map[int]float64) []int {
-	for k := range a {
-		dst = append(dst, k)
-	}
-	for k := range b {
-		if _, ok := a[k]; !ok {
-			dst = append(dst, k)
-		}
-	}
-	sort.Ints(dst)
-	return dst
 }

@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// warmSnapshot runs the scenario's warmup once for the given method and
+// returns the end-of-warmup snapshot plus the workload to fork with.
+func warmSnapshot(t *testing.T, sc *Scenario, method string) (*sim.Snapshot, *sim.Workload) {
+	t.Helper()
+	eng := sim.New(sc.Trace, NewRouter(method), nil, sc.Config(1))
+	eng.RunWarmup()
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("%s/%s: snapshot: %v", sc.Name, method, err)
+	}
+	return snap, sc.Workload(sc.RateDef)
+}
+
+// TestForkEquivalence checks the bit-identical contract of warm-state
+// forking: for every method on the tiny DART and DNET scenarios, a run
+// forked from a shared end-of-warmup snapshot must produce exactly the
+// summary of a fresh engine simulating warmup and measurement end to end
+// with the same seed.
+func TestForkEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full Tiny simulations")
+	}
+	for _, sc := range BothScenarios(Tiny) {
+		for _, m := range MethodNames {
+			snap, wl := warmSnapshot(t, sc, m)
+			for seed := int64(1); seed <= 2; seed++ {
+				fresh := Run{Scenario: sc, Router: routerFactory(m), Seed: seed}.Execute()
+				forked := sim.Fork(snap, wl, seed).Run().Summary
+				if !reflect.DeepEqual(fresh, forked) {
+					t.Errorf("%s/%s seed %d: fork diverged from fresh run:\nfresh:  %+v\nforked: %+v",
+						sc.Name, m, seed, fresh, forked)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepForkEquivalence checks the same contract one layer up: a Sweep
+// with forking enabled (the default) must return exactly the points of a
+// Sweep forced onto the fresh path with NoFork.
+func TestSweepForkEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full Tiny simulations")
+	}
+	sc := DARTScenario(Tiny)
+	build := func(m string, x float64, seed int64) Run {
+		return Run{Scenario: sc, Router: routerFactory(m), Rate: x, Seed: seed}
+	}
+	methods := []string{"DTN-FLOW", "PROPHET"}
+	xs := []float64{100, 200}
+	forked := Sweep(methods, xs, Options{Scale: Tiny, Seeds: 3}, build)
+	fresh := Sweep(methods, xs, Options{Scale: Tiny, Seeds: 3, NoFork: true}, build)
+	if !reflect.DeepEqual(forked, fresh) {
+		t.Errorf("sweep diverged:\nforked: %+v\nfresh:  %+v", forked, fresh)
+	}
+}
+
+// TestForkIsolation checks that forks share nothing mutable: running one
+// fork to completion must not change what a later fork of the same
+// snapshot computes, for equal or different seeds.
+func TestForkIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full Tiny simulations")
+	}
+	sc := DNETScenario(Tiny)
+	snap, wl := warmSnapshot(t, sc, "DTN-FLOW")
+	first := sim.Fork(snap, wl, 1).Run().Summary
+	other := sim.Fork(snap, wl, 2).Run().Summary
+	again := sim.Fork(snap, wl, 1).Run().Summary
+	if !reflect.DeepEqual(first, again) {
+		t.Errorf("seed-1 fork changed after sibling forks ran:\nfirst: %+v\nagain: %+v", first, again)
+	}
+	if reflect.DeepEqual(first, other) {
+		t.Errorf("seed-1 and seed-2 forks produced identical summaries %+v; seeds not applied", first)
+	}
+}
+
+// TestSnapshotGates checks that Snapshot refuses engines it cannot fork
+// safely: pending protocol timers (closures over the original engine) and
+// routers without Cloner support.
+func TestSnapshotGates(t *testing.T) {
+	sc := DNETScenario(Tiny)
+
+	eng := sim.New(sc.Trace, NewRouter("DTN-FLOW"), nil, sc.Config(1))
+	if _, err := eng.Snapshot(); err == nil {
+		t.Error("Snapshot before RunWarmup succeeded; want error")
+	}
+	eng.RunWarmup()
+	eng.Context().Schedule(sc.Trace.Duration(), func() {})
+	if _, err := eng.Snapshot(); err == nil {
+		t.Error("Snapshot with a pending timer succeeded; want error")
+	}
+
+	// An opaque wrapper hides the Cloner implementation.
+	plain := sim.New(sc.Trace, struct{ sim.Router }{NewRouter("DTN-FLOW")}, nil, sc.Config(1))
+	plain.RunWarmup()
+	if _, err := plain.Snapshot(); err == nil {
+		t.Error("Snapshot of a non-Cloner router succeeded; want error")
+	}
+}

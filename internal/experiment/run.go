@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/baselines"
@@ -71,33 +73,64 @@ func (r Run) Execute() metrics.Summary {
 	return eng.Run().Summary
 }
 
-// Parallel executes the runs concurrently (each run owns its engine and
-// RNG, so results are independent of scheduling) and returns the summaries
-// in input order.
-func Parallel(runs []Run, workers int) []metrics.Summary {
+// parallelFor runs fn(0..n-1) on a bounded worker pool. A panicking item
+// is recovered and recorded with its index and stack; the first panic is
+// re-thrown once after the pool has drained, so one bad item can neither
+// deadlock the feeder nor silently kill a worker while unrelated items are
+// still in flight.
+func parallelFor(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(runs) {
-		workers = len(runs)
+	if workers > n {
+		workers = n
 	}
-	out := make([]metrics.Summary, len(runs))
-	var wg sync.WaitGroup
+	var (
+		wg         sync.WaitGroup
+		once       sync.Once
+		firstPanic error
+	)
 	ch := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				out[i] = runs[i].Execute()
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							stack := debug.Stack()
+							once.Do(func() {
+								firstPanic = fmt.Errorf("experiment: run %d panicked: %v\n%s", i, p, stack)
+							})
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
-	for i := range runs {
+	for i := 0; i < n; i++ {
 		ch <- i
 	}
 	close(ch)
 	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+}
+
+// Parallel executes the runs concurrently (each run owns its engine and
+// RNG, so results are independent of scheduling) and returns the summaries
+// in input order.
+func Parallel(runs []Run, workers int) []metrics.Summary {
+	out := make([]metrics.Summary, len(runs))
+	parallelFor(len(runs), workers, func(i int) {
+		out[i] = runs[i].Execute()
+	})
 	return out
 }
 
@@ -144,22 +177,91 @@ type SweepPoint struct {
 	Results []Averaged // aligned with the method list used
 }
 
+// sweepCell is one (x, method) cell of a sweep: the per-seed runs of one
+// data point, which share everything except the workload seed. When the
+// cell is forkable, its warmup is simulated once and every seed's measured
+// run forks from the shared end-of-warmup snapshot.
+type sweepCell struct {
+	runs []Run // seeds runs, identical up to Seed
+	snap *sim.Snapshot
+	wl   *sim.Workload
+}
+
+// warm simulates the cell's warmup once (no workload — packets only exist
+// from the warmup boundary onward) and snapshots the engine. It leaves the
+// cell on the fresh path when the cell cannot be forked: a per-run probe
+// or setup hook binds a run to its own engine, and Snapshot itself rejects
+// routers without Cloner support or warm state that is not safely
+// clonable (pending protocol timers).
+func (c *sweepCell) warm() {
+	r := c.runs[0]
+	if r.Probe != nil || r.Setup != nil {
+		return
+	}
+	cfg := r.Scenario.Config(r.Seed)
+	if r.Tweak != nil {
+		r.Tweak(&cfg)
+	}
+	if cfg.Probe != nil {
+		return
+	}
+	eng := sim.New(r.Scenario.Trace, r.Router(), nil, cfg)
+	eng.RunWarmup()
+	snap, err := eng.Snapshot()
+	if err != nil {
+		return
+	}
+	rate := r.Rate
+	if rate <= 0 {
+		rate = r.Scenario.RateDef
+	}
+	c.snap = snap
+	c.wl = r.Scenario.Workload(rate)
+}
+
+// execute performs the cell's i-th seeded run: a fork of the shared
+// snapshot when the cell is warmed, a full fresh run otherwise. Both paths
+// produce bit-identical summaries (see sim.Fork).
+func (c *sweepCell) execute(i int) metrics.Summary {
+	if c.snap == nil {
+		return c.runs[i].Execute()
+	}
+	return sim.Fork(c.snap, c.wl, c.runs[i].Seed).Run().Summary
+}
+
 // Sweep runs methods × xs × seeds in parallel. build returns the Run for
-// (method, x, seed).
+// (method, x, seed); everything in the returned Run except the workload
+// seed must depend only on (method, x) — the contract that makes seeds
+// averageable, and that warm-state forking relies on to share one warmup
+// per (x, method) cell across all seeds. Multi-seed sweeps fork each
+// cell's measured runs from a single end-of-warmup snapshot (disable with
+// Options.NoFork); results are bit-identical to fresh per-seed runs.
 func Sweep(methods []string, xs []float64, opt Options, build func(method string, x float64, seed int64) Run) []SweepPoint {
 	seeds := opt.Seeds
 	if seeds < 1 {
 		seeds = 1
 	}
-	var runs []Run
+	cells := make([]sweepCell, 0, len(xs)*len(methods))
 	for _, x := range xs {
 		for _, m := range methods {
+			c := sweepCell{runs: make([]Run, seeds)}
 			for s := 0; s < seeds; s++ {
-				runs = append(runs, build(m, x, int64(s+1)))
+				c.runs[s] = build(m, x, int64(s+1))
 			}
+			cells = append(cells, c)
 		}
 	}
-	sums := Parallel(runs, opt.Workers)
+	// Phase 1: warm each cell once. With a single seed a fork saves
+	// nothing over a fresh run, so the whole phase is skipped.
+	if !opt.NoFork && seeds >= 2 {
+		parallelFor(len(cells), opt.Workers, func(ci int) { cells[ci].warm() })
+	}
+	// Phase 2: every measured run, flat across cells so late cells don't
+	// wait on slow ones.
+	sums := make([]metrics.Summary, len(cells)*seeds)
+	parallelFor(len(sums), opt.Workers, func(i int) {
+		sums[i] = cells[i/seeds].execute(i % seeds)
+	})
 	points := make([]SweepPoint, len(xs))
 	i := 0
 	for xi, x := range xs {

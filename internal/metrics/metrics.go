@@ -64,6 +64,19 @@ func (c *Collector) Forwarded() { c.ForwardingOps++ }
 // paper counts such a transfer as cost n.
 func (c *Collector) Control(n int) { c.ControlEntries += int64(n) }
 
+// Clone returns an independent copy of the collector. Warm-state forks
+// start from the warmup's accumulated counts (control-plane cost accrues
+// before the measurement window), so each fork clones rather than zeroes.
+func (c *Collector) Clone() *Collector {
+	cp := *c
+	if len(c.delays) > 0 {
+		cp.delays = append([]trace.Time(nil), c.delays...)
+	} else {
+		cp.delays = nil
+	}
+	return &cp
+}
+
 // Summary is the per-run result in the paper's four metrics.
 type Summary struct {
 	Method       string

@@ -24,6 +24,12 @@ func NewAccuracyTracker() *AccuracyTracker {
 // Value returns the current accuracy estimate p_a.
 func (a *AccuracyTracker) Value() float64 { return a.value }
 
+// Clone returns an independent copy of the tracker.
+func (a *AccuracyTracker) Clone() *AccuracyTracker {
+	cp := *a
+	return &cp
+}
+
 // Record updates p_a with the outcome of one prediction.
 func (a *AccuracyTracker) Record(correct bool) {
 	if correct {

@@ -43,6 +43,34 @@ func NewMarkov(k int) *Markov {
 // Order returns the predictor's order k.
 func (m *Markov) Order() int { return m.k }
 
+// Clone returns an independent copy of the predictor (a pure read of the
+// receiver, safe to call concurrently on a frozen predictor). The memoized
+// distribution is copied rather than invalidated so a clone's query
+// sequence matches the original's exactly.
+func (m *Markov) Clone() *Markov {
+	cp := &Markov{
+		k:         m.k,
+		history:   append([]int(nil), m.history...),
+		counts:    make(map[string]map[int]int, len(m.counts)),
+		ctxTotal:  make(map[string]int, len(m.ctxTotal)),
+		distValid: m.distValid,
+	}
+	for key, nm := range m.counts {
+		inner := make(map[int]int, len(nm))
+		for lm, c := range nm {
+			inner[lm] = c
+		}
+		cp.counts[key] = inner
+	}
+	for key, t := range m.ctxTotal {
+		cp.ctxTotal[key] = t
+	}
+	if len(m.dist) > 0 {
+		cp.dist = append([]Prediction(nil), m.dist...)
+	}
+	return cp
+}
+
 // HistoryLen returns the number of landmarks observed so far.
 func (m *Markov) HistoryLen() int { return len(m.history) }
 

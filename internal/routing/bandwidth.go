@@ -76,6 +76,31 @@ func applyEWMA(bw map[int]float64, seq map[int]int, rho float64, nbr int, count 
 	return true
 }
 
+// Clone returns an independent copy of the table (a pure read of the
+// receiver, safe to call concurrently on a frozen table).
+func (t *BandwidthTable) Clone() *BandwidthTable {
+	cp := &BandwidthTable{
+		Rho:    t.Rho,
+		rep:    make(map[int]float64, len(t.rep)),
+		repSeq: make(map[int]int, len(t.repSeq)),
+		sym:    make(map[int]float64, len(t.sym)),
+		symSeq: make(map[int]int, len(t.symSeq)),
+	}
+	for n, v := range t.rep {
+		cp.rep[n] = v
+	}
+	for n, s := range t.repSeq {
+		cp.repSeq[n] = s
+	}
+	for n, v := range t.sym {
+		cp.sym[n] = v
+	}
+	for n, s := range t.symSeq {
+		cp.symSeq[n] = s
+	}
+	return cp
+}
+
 // Bandwidth returns the current estimate for link me→nbr: the reported
 // value when one exists, the symmetric fallback otherwise (0 when neither
 // is known).
@@ -139,6 +164,16 @@ func (c *ArrivalCounter) Record(from int) {
 	if from >= 0 {
 		c.counts[from]++
 	}
+}
+
+// Clone returns an independent copy of the counter (a pure read of the
+// receiver; the clone gets a fresh report scratch buffer).
+func (c *ArrivalCounter) Clone() *ArrivalCounter {
+	cp := &ArrivalCounter{counts: make(map[int]int, len(c.counts))}
+	for from, n := range c.counts {
+		cp.counts[from] = n
+	}
+	return cp
 }
 
 // BandwidthReport carries a measured transit count for link From→To during

@@ -312,9 +312,10 @@ func NextHopChanges(prev, cur *Table) int {
 }
 
 // Snapshot returns a deep copy of the table (used for stability
-// measurements).
+// measurements and warm-state forking). It is a pure read: pending
+// mutations are carried over via the dirty flag rather than refreshed
+// here, so concurrent Snapshots of one frozen table are race-free.
 func (t *Table) Snapshot() *Table {
-	t.refresh()
 	cp := NewTable(t.Owner, t.size)
 	copy(cp.linkDelay, t.linkDelay)
 	cp.nbrs = append([]int(nil), t.nbrs...)
@@ -329,6 +330,7 @@ func (t *Table) Snapshot() *Table {
 	copy(cp.backup, t.backup)
 	copy(cp.bakDelay, t.bakDelay)
 	cp.reachable = t.reachable
+	cp.dirty = t.dirty
 	return cp
 }
 

@@ -268,6 +268,10 @@ type Engine struct {
 	now         trace.Time
 	start, end  trace.Time
 	measureFrom trace.Time
+	// started records that the router has been initialised and event
+	// processing has begun; Run and RunWarmup initialise at most once, and
+	// Fork produces engines that are already started.
+	started bool
 	// present[lm] is the ID-ordered set of nodes connected to landmark lm,
 	// maintained incrementally on arrive/depart. Context.NodesAt returns
 	// these slices directly (see its aliasing contract).
@@ -367,11 +371,29 @@ func (e *Engine) removePresent(lm, id int) {
 	}
 }
 
-// Run executes the simulation and returns the result. Packets still in
-// flight at the end are counted as failed.
-func (e *Engine) Run() *Result {
-	e.router.Init(e.ctx)
+// maxTime is past every event timestamp (trace times are int64 seconds).
+const maxTime = trace.Time(1) << 62
+
+// RunWarmup executes the warmup phase only: every event strictly before
+// the measurement start (trace visits, time units, protocol timers). The
+// engine can then either continue with Run — processing the remaining
+// events exactly as an uninterrupted Run would — or serve as the source of
+// a Snapshot from which seeded measured runs are forked (see fork.go).
+func (e *Engine) RunWarmup() {
+	if !e.started {
+		e.started = true
+		e.router.Init(e.ctx)
+	}
+	e.runEvents(e.measureFrom)
+}
+
+// runEvents processes events in order until the heap is empty or the next
+// event is at or past until.
+func (e *Engine) runEvents(until trace.Time) {
 	for e.events.Len() > 0 {
+		if e.events.ev[0].t >= until {
+			return
+		}
 		ev := e.events.pop()
 		e.now = ev.t
 		switch ev.kind {
@@ -433,14 +455,28 @@ func (e *Engine) Run() *Result {
 			ev.fn()
 		}
 	}
-	// Account packets still in flight.
+}
+
+// Run executes the simulation and returns the result. Packets still in
+// flight at the end are counted as failed. On a fresh engine Run performs
+// the whole simulation; after RunWarmup (or on a forked engine) it
+// continues from the warmup boundary.
+func (e *Engine) Run() *Result {
+	if !e.started {
+		e.started = true
+		e.router.Init(e.ctx)
+	}
+	e.runEvents(maxTime)
+	// Account packets still in flight. dropPacket only flags the packet
+	// and counts it — the buffer is left untouched — so the end-of-run
+	// drain iterates the live buffers directly.
 	for _, n := range e.ctx.Nodes {
-		for _, p := range append([]*Packet(nil), n.Buffer.Packets()...) {
+		for _, p := range n.Buffer.Packets() {
 			e.ctx.dropPacket(p, metrics.DropEnd)
 		}
 	}
 	for _, st := range e.ctx.Stations {
-		for _, p := range append([]*Packet(nil), st.Buffer.Packets()...) {
+		for _, p := range st.Buffer.Packets() {
 			e.ctx.dropPacket(p, metrics.DropEnd)
 		}
 	}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Warm-state forking: the control state a router accumulates before the
+// measurement start — Markov models, bandwidth tables, distance-vector
+// tables — depends only on the trace and the method, never on the workload
+// seed (packets are generated from the warmup boundary onward and the
+// seeded RNG is consumed exclusively by Workload.Schedule). A sweep over S
+// seeds therefore re-simulates S identical warmups. Snapshot captures an
+// engine at the end of warmup and Fork clones seeded measured runs from
+// it, so the warmup is paid once per (scenario, method, config) cell while
+// every forked run remains bit-identical to a fresh full run.
+
+// Cloner is implemented by routers that support warm-state forking: a
+// deep copy of all router state bound to a new simulation context.
+//
+// Contract: CloneRouter must not mutate the receiver in any way — forks of
+// one snapshot are taken concurrently from the same frozen router, so the
+// clone must be built from reads alone (no lazy refreshes, no scratch
+// reuse). The clone must behave identically to the receiver on every
+// future input; caches may be carried over or invalidated only when
+// recomputation is deterministic.
+type Cloner interface {
+	Router
+	CloneRouter(ctx *Context) Router
+}
+
+// Snapshot is a frozen engine at the end of warmup. It retains the
+// engine's router, nodes, stations, pending events and metrics; Fork deep-
+// clones them per seeded run, so one snapshot serves any number of
+// concurrent forks. The snapshotted engine must not be run further.
+type Snapshot struct {
+	trace       *trace.Trace
+	cfg         Config
+	router      Cloner
+	nodes       []*Node
+	stations    []*Station
+	present     [][]int // presence sets by node ID (rebound to clones)
+	events      []event
+	eventSeq    int
+	now         trace.Time
+	start, end  trace.Time
+	measureFrom trace.Time
+	nextUnit    int
+	metrics     *metrics.Collector
+}
+
+// Snapshot captures the engine's complete state for forking. It fails
+// when the router does not implement Cloner, when warmup has not been run,
+// or when the warm state is not safely clonable: pending timer events
+// carry closures over the original engine's state, and packets are
+// mutable shared objects — neither may cross a fork. Both conditions are
+// impossible in the default configurations (timers come from the dead-end
+// extension, packets only exist from the warmup boundary onward); callers
+// hitting them should fall back to fresh runs.
+func (e *Engine) Snapshot() (*Snapshot, error) {
+	cl, ok := e.router.(Cloner)
+	if !ok {
+		return nil, fmt.Errorf("sim: router %T does not implement Cloner", e.router)
+	}
+	if !e.started {
+		return nil, fmt.Errorf("sim: Snapshot before RunWarmup")
+	}
+	for i := range e.events.ev {
+		switch e.events.ev[i].kind {
+		case evTimer:
+			return nil, fmt.Errorf("sim: pending timer event at t=%d cannot be forked", e.events.ev[i].t)
+		case evGenerate:
+			return nil, fmt.Errorf("sim: pending packet generation at t=%d cannot be forked", e.events.ev[i].t)
+		}
+	}
+	for _, n := range e.ctx.Nodes {
+		if n.Buffer.Len() > 0 {
+			return nil, fmt.Errorf("sim: node %d holds packets at snapshot time", n.ID)
+		}
+	}
+	for _, st := range e.ctx.Stations {
+		if st.Buffer.Len() > 0 {
+			return nil, fmt.Errorf("sim: station %d holds packets at snapshot time", st.ID)
+		}
+	}
+	s := &Snapshot{
+		trace:       e.ctx.Trace,
+		cfg:         e.ctx.Cfg,
+		router:      cl,
+		nodes:       e.ctx.Nodes,
+		stations:    e.ctx.Stations,
+		present:     make([][]int, len(e.present)),
+		events:      append([]event(nil), e.events.ev...),
+		eventSeq:    e.eventSeq,
+		now:         e.now,
+		start:       e.start,
+		end:         e.end,
+		measureFrom: e.measureFrom,
+		nextUnit:    e.nextUnit,
+		metrics:     e.ctx.Metrics.Clone(),
+	}
+	for lm, set := range e.present {
+		if len(set) == 0 {
+			continue
+		}
+		ids := make([]int, len(set))
+		for i, n := range set {
+			ids[i] = n.ID
+		}
+		s.present[lm] = ids
+	}
+	return s, nil
+}
+
+// Fork builds a new engine whose state equals the snapshot's, schedules
+// the workload with a fresh seed-derived RNG, and returns it ready for
+// Run. The forked run's result is bit-identical to a fresh engine built
+// with the same trace, router, workload and seed and run end to end: the
+// warmup evolves identically (it never consumes the RNG and sees no
+// packets), and the workload schedule consumes the seeded RNG exactly as
+// it does at construction time. Forks share nothing mutable with the
+// snapshot or with each other, so any number may run concurrently.
+func Fork(s *Snapshot, w *Workload, seed int64) *Engine {
+	cfg := s.cfg
+	cfg.Seed = seed
+	e := &Engine{
+		workload:    w,
+		eventSeq:    s.eventSeq,
+		now:         s.now,
+		start:       s.start,
+		end:         s.end,
+		measureFrom: s.measureFrom,
+		nextUnit:    s.nextUnit,
+		started:     true,
+	}
+	ctx := &Context{
+		Trace:   s.trace,
+		Cfg:     cfg,
+		Rand:    rand.New(rand.NewSource(seed)),
+		Metrics: s.metrics.Clone(),
+		Probe:   cfg.Probe,
+		engine:  e,
+	}
+	ctx.Nodes = make([]*Node, len(s.nodes))
+	for i, n := range s.nodes {
+		cp := *n
+		cp.Buffer = n.Buffer.clone()
+		ctx.Nodes[i] = &cp
+	}
+	ctx.Stations = make([]*Station, len(s.stations))
+	for i, st := range s.stations {
+		cp := *st
+		cp.Buffer = st.Buffer.clone()
+		ctx.Stations[i] = &cp
+	}
+	e.ctx = ctx
+	e.present = make([][]*Node, len(s.present))
+	for lm, ids := range s.present {
+		if len(ids) == 0 {
+			continue
+		}
+		set := make([]*Node, len(ids))
+		for i, id := range ids {
+			set[i] = ctx.Nodes[id]
+		}
+		e.present[lm] = set
+	}
+	e.events.ev = append(make([]event, 0, len(s.events)), s.events...)
+	e.router = s.router.CloneRouter(ctx)
+	if w != nil {
+		pkts := w.Schedule(ctx.Rand, e.measureFrom, e.end, s.trace.NumLandmarks)
+		e.events.grow(len(pkts))
+		for _, pkt := range pkts {
+			e.push(event{t: pkt.Created, kind: evGenerate, pkt: pkt})
+		}
+	}
+	return e
+}
+
+// clone returns a buffer with the same capacity and contents. Snapshot
+// buffers are empty by contract, so the packet pointers (shared, mutable)
+// are never actually carried across a fork.
+func (b *Buffer) clone() *Buffer {
+	cp := &Buffer{Capacity: b.Capacity, used: b.used}
+	if len(b.packets) > 0 {
+		cp.packets = append([]*Packet(nil), b.packets...)
+	}
+	return cp
+}
