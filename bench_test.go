@@ -18,6 +18,7 @@ import (
 	"repro/internal/synth"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/validate"
 )
 
 func benchOpts() experiment.Options {
@@ -124,6 +125,43 @@ func BenchmarkSimulateTelemetryOn(b *testing.B) {
 		cfg := sc.Config(1)
 		cfg.Probe = telemetry.NewProbe(telemetry.NewRecorder(0))
 		sim.New(sc.Trace, r, sc.Workload(sc.RateDef), cfg).Run()
+	}
+}
+
+// BenchmarkSimulateCheckerOff measures the invariant checker's overhead
+// contract from the disabled side: the same Tiny-DART simulation as
+// BenchmarkSimulateDTNFLOW with cfg.Check explicitly nil (the default).
+// Its ns/op and allocs/op must match BenchmarkSimulateDTNFLOW — every
+// checker hook point is a branch on a nil comparison, adding no
+// interface dispatch and 0 allocs/op when disabled.
+func BenchmarkSimulateCheckerOff(b *testing.B) {
+	sc := experiment.DARTScenario(experiment.Tiny)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRouter("DTN-FLOW")
+		cfg := sc.Config(1)
+		cfg.Check = nil
+		sim.New(sc.Trace, r, sc.Workload(sc.RateDef), cfg).Run()
+	}
+}
+
+// BenchmarkSimulateCheckerOn measures the cost of full invariant
+// checking — per-packet shadow state, per-unit buffer scans, conservation
+// and table checks — on the same simulation.
+func BenchmarkSimulateCheckerOn(b *testing.B) {
+	sc := experiment.DARTScenario(experiment.Tiny)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRouter("DTN-FLOW")
+		cfg := sc.Config(1)
+		ck := validate.NewChecker()
+		cfg.Check = ck
+		sim.New(sc.Trace, r, sc.Workload(sc.RateDef), cfg).Run()
+		if err := ck.Err(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -124,11 +124,16 @@ func (b *Base) OnContact(ctx *sim.Context, c *sim.Contact) {
 // higher for the packet's destination.
 func (b *Base) exchange(ctx *sim.Context, c *sim.Contact, from, to *sim.Node) {
 	now := ctx.Now()
+	ck := ctx.Check
 	moving := b.moveScratch[:0]
 	for _, p := range from.Buffer.Packets() {
 		rem := p.Remaining(now)
 		sf := b.m.Score(ctx, from.ID, p.Dst, rem)
 		st := b.m.Score(ctx, to.ID, p.Dst, rem)
+		if ck != nil {
+			ck.Score(now, b.m.Name(), from.ID, p.Dst, sf)
+			ck.Score(now, b.m.Name(), to.ID, p.Dst, st)
+		}
 		if st > sf && st > 0 && to.Buffer.Fits(p.Size) {
 			moving = append(moving, p)
 		}
@@ -165,6 +170,7 @@ func (b *Base) stationHandoff(ctx *sim.Context, lm int, c *sim.Contact) {
 		return
 	}
 	now := ctx.Now()
+	ck := ctx.Check
 	// Copy the station queue: Download mutates it while we iterate.
 	pkts := append(b.pktScratch[:0], st.Buffer.Packets()...)
 	b.pktScratch = pkts
@@ -175,7 +181,11 @@ func (b *Base) stationHandoff(ctx *sim.Context, lm int, c *sim.Contact) {
 			if !n.Buffer.Fits(p.Size) {
 				continue
 			}
-			if s := b.m.Score(ctx, n.ID, p.Dst, p.Remaining(now)); s > bestS {
+			s := b.m.Score(ctx, n.ID, p.Dst, p.Remaining(now))
+			if ck != nil {
+				ck.Score(now, b.m.Name(), n.ID, p.Dst, s)
+			}
+			if s > bestS {
 				best, bestS = n, s
 			}
 		}

@@ -385,6 +385,9 @@ func (r *Router) OnTimeUnit(ctx *sim.Context, seq int) {
 		}
 		clear(ls.lbAssigned)
 		clear(ls.lbSent)
+		if ck := ctx.Check; ck != nil {
+			ck.Table(ctx.Now(), lm, ls.table)
+		}
 	}
 	if r.UnitHook != nil {
 		r.UnitHook(seq)

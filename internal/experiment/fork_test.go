@@ -2,9 +2,14 @@ package experiment
 
 import (
 	"reflect"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/metrics"
+	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // warmSnapshot runs the scenario's warmup once for the given method and
@@ -81,6 +86,121 @@ func TestForkIsolation(t *testing.T) {
 	}
 	if reflect.DeepEqual(first, other) {
 		t.Errorf("seed-1 and seed-2 forks produced identical summaries %+v; seeds not applied", first)
+	}
+}
+
+// countingChecker is a minimal sim.Checker that only counts Generated
+// calls. If a Sweep wrongly forks a checked cell, the fork discards the
+// per-run checker and the counter stays at zero — making the fallback
+// observable from outside.
+type countingChecker struct{ generated *atomic.Int64 }
+
+func (c countingChecker) Generated(trace.Time, *sim.Packet) { c.generated.Add(1) }
+func (c countingChecker) Transferred(trace.Time, telemetry.HopKind, *sim.Packet, int, int) {
+}
+func (c countingChecker) Delivered(trace.Time, *sim.Packet, int)              {}
+func (c countingChecker) Dropped(trace.Time, *sim.Packet, metrics.DropReason) {}
+func (c countingChecker) Score(trace.Time, string, int, int, float64)         {}
+func (c countingChecker) Table(trace.Time, int, *routing.Table)               {}
+func (c countingChecker) Scan(trace.Time, *sim.Context)                       {}
+func (c countingChecker) Finish(*sim.Context)                                 {}
+
+// TestSweepFallbackGates exercises every condition that must force a
+// Sweep cell off the warm-fork fast path and onto fresh per-seed runs: a
+// per-run probe, a per-run checker, a Setup hook, a Tweak that attaches
+// a checker at config level, and a router whose warm state Snapshot
+// refuses to clone. For each gate the sweep must (a) produce exactly the
+// NoFork results and (b) demonstrably run the fresh path — the attached
+// observer sees every run, which a silently-forked cell would skip.
+func TestSweepFallbackGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full Tiny simulations")
+	}
+	sc := DARTScenario(Tiny)
+	methods := []string{"DTN-FLOW"}
+	xs := []float64{150}
+	const seeds = 2
+
+	cases := []struct {
+		name     string
+		build    func(counter *atomic.Int64) func(m string, x float64, seed int64) Run
+		wantRuns bool // counter must equal the number of measured runs
+	}{
+		{
+			name: "per-run-checker",
+			build: func(counter *atomic.Int64) func(string, float64, int64) Run {
+				return func(m string, x float64, seed int64) Run {
+					return Run{Scenario: sc, Router: routerFactory(m), Rate: x, Seed: seed,
+						Check: countingChecker{generated: counter}}
+				}
+			},
+		},
+		{
+			name: "per-run-probe",
+			build: func(counter *atomic.Int64) func(string, float64, int64) Run {
+				return func(m string, x float64, seed int64) Run {
+					rec := telemetry.NewRecorder(1 << 10)
+					return Run{Scenario: sc, Router: routerFactory(m), Rate: x, Seed: seed,
+						Probe: telemetry.NewProbe(rec),
+						// The probe itself proves nothing to the outside;
+						// piggyback a Setup hook purely as the run counter.
+						Setup: func(*sim.Engine, sim.Router) { counter.Add(1) }}
+				}
+			},
+			wantRuns: true,
+		},
+		{
+			name: "setup-hook",
+			build: func(counter *atomic.Int64) func(string, float64, int64) Run {
+				return func(m string, x float64, seed int64) Run {
+					return Run{Scenario: sc, Router: routerFactory(m), Rate: x, Seed: seed,
+						Setup: func(*sim.Engine, sim.Router) { counter.Add(1) }}
+				}
+			},
+			wantRuns: true,
+		},
+		{
+			name: "tweak-attaches-checker",
+			build: func(counter *atomic.Int64) func(string, float64, int64) Run {
+				return func(m string, x float64, seed int64) Run {
+					return Run{Scenario: sc, Router: routerFactory(m), Rate: x, Seed: seed,
+						Tweak: func(cfg *sim.Config) { cfg.Check = countingChecker{generated: counter} }}
+				}
+			},
+		},
+		{
+			name: "snapshot-rejects-router",
+			build: func(counter *atomic.Int64) func(string, float64, int64) Run {
+				return func(m string, x float64, seed int64) Run {
+					return Run{Scenario: sc, Rate: x, Seed: seed,
+						// The opaque wrapper hides the Cloner implementation,
+						// so warm() fails at Snapshot and leaves snap nil.
+						Router: func() sim.Router { return struct{ sim.Router }{NewRouter(m)} },
+						Setup:  nil}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var gated, fresh atomic.Int64
+			forkedPoints := Sweep(methods, xs, Options{Scale: Tiny, Seeds: seeds}, tc.build(&gated))
+			freshPoints := Sweep(methods, xs, Options{Scale: Tiny, Seeds: seeds, NoFork: true}, tc.build(&fresh))
+			if !reflect.DeepEqual(forkedPoints, freshPoints) {
+				t.Errorf("gated sweep diverged from NoFork sweep:\ngated: %+v\nfresh: %+v",
+					forkedPoints, freshPoints)
+			}
+			runs := int64(len(methods) * len(xs) * seeds)
+			if tc.wantRuns {
+				if gated.Load() != runs {
+					t.Errorf("fresh path ran %d of %d measured runs; cell was forked despite the gate",
+						gated.Load(), runs)
+				}
+			} else if gated.Load() != fresh.Load() {
+				t.Errorf("gated sweep observed %d events, NoFork observed %d; cell was forked despite the gate",
+					gated.Load(), fresh.Load())
+			}
+		})
 	}
 }
 

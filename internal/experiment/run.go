@@ -49,6 +49,10 @@ type Run struct {
 	// sweeps must give each run its own recorder (the recorder, like the
 	// engine, is single-goroutine).
 	Probe *telemetry.Probe
+	// Check, when non-nil, attaches an invariant checker to this run.
+	// Like the probe, a checker serves one run on one goroutine, so
+	// parallel sweeps must build one per run.
+	Check sim.Checker
 	// Setup runs after engine construction but before Run (fault
 	// injection, hooks).
 	Setup func(*sim.Engine, sim.Router)
@@ -58,6 +62,7 @@ type Run struct {
 func (r Run) Execute() metrics.Summary {
 	cfg := r.Scenario.Config(r.Seed)
 	cfg.Probe = r.Probe
+	cfg.Check = r.Check
 	if r.Tweak != nil {
 		r.Tweak(&cfg)
 	}
@@ -189,20 +194,20 @@ type sweepCell struct {
 
 // warm simulates the cell's warmup once (no workload — packets only exist
 // from the warmup boundary onward) and snapshots the engine. It leaves the
-// cell on the fresh path when the cell cannot be forked: a per-run probe
-// or setup hook binds a run to its own engine, and Snapshot itself rejects
-// routers without Cloner support or warm state that is not safely
+// cell on the fresh path when the cell cannot be forked: a per-run probe,
+// checker or setup hook binds a run to its own engine, and Snapshot itself
+// rejects routers without Cloner support or warm state that is not safely
 // clonable (pending protocol timers).
 func (c *sweepCell) warm() {
 	r := c.runs[0]
-	if r.Probe != nil || r.Setup != nil {
+	if r.Probe != nil || r.Check != nil || r.Setup != nil {
 		return
 	}
 	cfg := r.Scenario.Config(r.Seed)
 	if r.Tweak != nil {
 		r.Tweak(&cfg)
 	}
-	if cfg.Probe != nil {
+	if cfg.Probe != nil || cfg.Check != nil {
 		return
 	}
 	eng := sim.New(r.Scenario.Trace, r.Router(), nil, cfg)

@@ -81,6 +81,108 @@ func TestDropAccounting(t *testing.T) {
 	}
 }
 
+// TestSummarizeEdges drives Summarize through the degenerate inputs that
+// arise in real sweeps: an empty run, a run where every packet fails, a
+// delivery at the very deadline (delay == experiment duration), and a
+// zero-delay same-landmark delivery. Each row states every derived field
+// so a change to the arithmetic cannot hide.
+func TestSummarizeEdges(t *testing.T) {
+	const exp = trace.Time(1000)
+	cases := []struct {
+		name      string
+		fill      func(c *Collector)
+		generated int
+		delivered int
+		success   float64
+		avg       float64
+		overall   float64
+	}{
+		{
+			name:      "zero-packets",
+			fill:      func(c *Collector) {},
+			generated: 0, delivered: 0, success: 0, avg: 0, overall: 0,
+		},
+		{
+			name: "all-dropped",
+			fill: func(c *Collector) {
+				for i := 0; i < 4; i++ {
+					c.PacketGenerated()
+				}
+				c.PacketDropped(DropTTL)
+				c.PacketDropped(DropTTL)
+				c.PacketDropped(DropNoRoom)
+				c.PacketDropped(DropEnd)
+			},
+			generated: 4, delivered: 0, success: 0, avg: 0, overall: float64(exp),
+		},
+		{
+			name: "delivered-at-deadline",
+			fill: func(c *Collector) {
+				c.PacketGenerated()
+				c.PacketDelivered(exp) // arrives exactly as the run ends
+			},
+			generated: 1, delivered: 1, success: 1, avg: float64(exp), overall: float64(exp),
+		},
+		{
+			name: "zero-delay-delivery",
+			fill: func(c *Collector) {
+				c.PacketGenerated()
+				c.PacketGenerated()
+				c.PacketDelivered(0) // source and destination at the same landmark
+				c.PacketDropped(DropEnd)
+			},
+			generated: 2, delivered: 1, success: 0.5, avg: 0, overall: float64(exp) / 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var c Collector
+			tc.fill(&c)
+			s := c.Summarize("m", exp)
+			if s.Generated != tc.generated || s.Delivered != tc.delivered {
+				t.Errorf("counts = %d/%d, want %d/%d", s.Generated, s.Delivered, tc.generated, tc.delivered)
+			}
+			if math.Abs(s.SuccessRate-tc.success) > 1e-12 {
+				t.Errorf("success = %v, want %v", s.SuccessRate, tc.success)
+			}
+			if math.Abs(s.AvgDelay-tc.avg) > 1e-9 {
+				t.Errorf("avg delay = %v, want %v", s.AvgDelay, tc.avg)
+			}
+			if math.Abs(s.OverallDelay-tc.overall) > 1e-9 {
+				t.Errorf("overall delay = %v, want %v", s.OverallDelay, tc.overall)
+			}
+			drops := 0
+			for _, n := range c.Dropped {
+				drops += n
+			}
+			if drops != c.Generated-c.Delivered {
+				t.Errorf("drops (%d) + delivered (%d) != generated (%d)", drops, c.Delivered, c.Generated)
+			}
+		})
+	}
+}
+
+// TestCollectorCloneIndependent checks the warm-state fork contract: a
+// clone shares nothing with its parent, so a fork's deliveries cannot
+// leak into a sibling's delay distribution.
+func TestCollectorCloneIndependent(t *testing.T) {
+	var c Collector
+	c.PacketGenerated()
+	c.PacketDelivered(100)
+	cp := c.Clone()
+	cp.PacketGenerated()
+	cp.PacketDelivered(900)
+	if c.Generated != 1 || c.Delivered != 1 {
+		t.Errorf("parent mutated by clone: %+v", c)
+	}
+	if s := c.Summarize("m", 1000); s.AvgDelay != 100 {
+		t.Errorf("parent delays mutated: avg = %v", s.AvgDelay)
+	}
+	if s := cp.Summarize("m", 1000); s.AvgDelay != 500 {
+		t.Errorf("clone delays wrong: avg = %v", s.AvgDelay)
+	}
+}
+
 func TestSummarizeNoDeliveries(t *testing.T) {
 	var c Collector
 	c.PacketGenerated()

@@ -110,6 +110,75 @@ func TestEmptyPredictor(t *testing.T) {
 	}
 }
 
+// TestMarkovDegenerateHistories drives the predictor through the
+// pathological histories that real traces produce — a node seen only
+// once, a node that never leaves its landmark, an arrival at a
+// never-before-visited landmark — and pins the contract for each: no
+// context means no prediction (ok == false, nil distribution), never a
+// panic or a fabricated probability.
+func TestMarkovDegenerateHistories(t *testing.T) {
+	cases := []struct {
+		name    string
+		order   int
+		history []int
+		wantLen int  // expected HistoryLen after observing
+		wantOK  bool // expected Predict ok
+		wantLm  int  // expected prediction when ok
+	}{
+		{name: "no-history", order: 1, history: nil, wantLen: 0, wantOK: false},
+		{name: "single-visit", order: 1, history: []int{2}, wantLen: 1, wantOK: false},
+		{name: "never-leaves", order: 1, history: []int{4, 4, 4, 4, 4}, wantLen: 1, wantOK: false},
+		{name: "arrives-at-unseen-landmark", order: 1, history: []int{0, 1, 0, 9}, wantLen: 4, wantOK: false},
+		{name: "history-shorter-than-order", order: 3, history: []int{0, 1}, wantLen: 2, wantOK: false},
+		{name: "backoff-from-unseen-pair", order: 2, history: []int{0, 1, 0}, wantLen: 3, wantOK: true, wantLm: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMarkov(tc.order)
+			for _, lm := range tc.history {
+				m.Observe(lm)
+			}
+			if m.HistoryLen() != tc.wantLen {
+				t.Errorf("HistoryLen = %d, want %d", m.HistoryLen(), tc.wantLen)
+			}
+			lm, p, ok := m.Predict()
+			if ok != tc.wantOK {
+				t.Fatalf("Predict ok = %v (lm=%d p=%v), want %v", ok, lm, p, tc.wantOK)
+			}
+			if !ok {
+				if d := m.Distribution(); d != nil {
+					t.Errorf("Distribution = %v, want nil without a matching context", d)
+				}
+				if q := m.ProbabilityOf(0); q != 0 {
+					t.Errorf("ProbabilityOf = %v, want 0 without a matching context", q)
+				}
+				return
+			}
+			if lm != tc.wantLm || p <= 0 || p > 1 {
+				t.Errorf("Predict = (%d, %v), want landmark %d with 0 < p <= 1", lm, p, tc.wantLm)
+			}
+		})
+	}
+}
+
+// TestMarkovUnseenTransitionProbability checks that a transition never
+// observed from the current context scores exactly zero even when the
+// landmark itself is known from other contexts.
+func TestMarkovUnseenTransitionProbability(t *testing.T) {
+	m := NewMarkov(1)
+	for _, lm := range []int{0, 1, 2, 1, 0} {
+		m.Observe(lm)
+	}
+	// Context is 0; its only observed successor is 1. Landmark 2 exists in
+	// the history but never follows 0.
+	if p := m.ProbabilityOf(2); p != 0 {
+		t.Errorf("ProbabilityOf(2) = %v, want 0 (2 never follows 0)", p)
+	}
+	if p := m.ProbabilityOf(1); p != 1 {
+		t.Errorf("ProbabilityOf(1) = %v, want 1", p)
+	}
+}
+
 func TestNewMarkovPanicsOnBadOrder(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -31,6 +31,10 @@ type Config struct {
 	// Probe receives telemetry events; nil (the default) disables
 	// telemetry at zero cost beyond one branch per probe point.
 	Probe *telemetry.Probe
+	// Check receives invariant-checking hooks (see Checker); nil (the
+	// default) disables checking at zero cost beyond one branch per hook
+	// point.
+	Check Checker
 }
 
 // DefaultConfig returns the paper's default experiment settings for a
@@ -59,12 +63,19 @@ type Context struct {
 	// Probe is the telemetry hook (nil when telemetry is off; every
 	// method is a nil-safe no-op, so callers never check).
 	Probe *telemetry.Probe
+	// Check is the invariant-checker hook (nil when checking is off;
+	// callers guard with a nil comparison).
+	Check Checker
 
 	engine *Engine
 }
 
 // Now returns the current simulation time.
 func (ctx *Context) Now() trace.Time { return ctx.engine.now }
+
+// MeasureFrom returns the start of the measurement window (trace start +
+// warmup); packets created before it do not count toward the metrics.
+func (ctx *Context) MeasureFrom() trace.Time { return ctx.engine.measureFrom }
 
 // NumLandmarks returns the number of landmarks.
 func (ctx *Context) NumLandmarks() int { return ctx.Trace.NumLandmarks }
@@ -128,6 +139,9 @@ func (ctx *Context) dropPacket(p *Packet, r metrics.DropReason) {
 	}
 	p.dropped = true
 	ctx.Probe.Dropped(ctx.engine.now, p.ID, r)
+	if ck := ctx.Check; ck != nil {
+		ck.Dropped(ctx.engine.now, p, r)
+	}
 	if p.Created >= ctx.engine.measureFrom {
 		ctx.Metrics.PacketDropped(r)
 	}
@@ -140,6 +154,9 @@ func (ctx *Context) deliverPacket(p *Packet, at int) {
 	}
 	p.delivered = true
 	ctx.Probe.Delivered(ctx.engine.now, p.ID, at, ctx.engine.now-p.Created)
+	if ck := ctx.Check; ck != nil {
+		ck.Delivered(ctx.engine.now, p, at)
+	}
 	if p.Created >= ctx.engine.measureFrom {
 		ctx.Metrics.PacketDelivered(ctx.engine.now - p.Created)
 	}
@@ -164,6 +181,9 @@ func (ctx *Context) Upload(c *Contact, n *Node, p *Packet) bool {
 	ctx.Metrics.Forwarded()
 	st := ctx.Stations[n.At]
 	ctx.Probe.Forwarded(ctx.engine.now, telemetry.HopUpload, p.ID, n.ID, st.ID)
+	if ck := ctx.Check; ck != nil {
+		ck.Transferred(ctx.engine.now, telemetry.HopUpload, p, n.ID, st.ID)
+	}
 	if st.ID == p.Dst && p.DstNode < 0 {
 		ctx.deliverPacket(p, st.ID)
 		return true
@@ -196,6 +216,9 @@ func (ctx *Context) Download(c *Contact, st *Station, n *Node, p *Packet) bool {
 	}
 	ctx.Metrics.Forwarded()
 	ctx.Probe.Forwarded(ctx.engine.now, telemetry.HopDownload, p.ID, st.ID, n.ID)
+	if ck := ctx.Check; ck != nil {
+		ck.Transferred(ctx.engine.now, telemetry.HopDownload, p, st.ID, n.ID)
+	}
 	n.Buffer.Add(p)
 	return true
 }
@@ -219,6 +242,9 @@ func (ctx *Context) Relay(c *Contact, from, to *Node, p *Packet) bool {
 	}
 	ctx.Metrics.Forwarded()
 	ctx.Probe.Forwarded(ctx.engine.now, telemetry.HopRelay, p.ID, from.ID, to.ID)
+	if ck := ctx.Check; ck != nil {
+		ck.Transferred(ctx.engine.now, telemetry.HopRelay, p, from.ID, to.ID)
+	}
 	to.Buffer.Add(p)
 	return true
 }
@@ -243,6 +269,9 @@ func (ctx *Context) DeliverFromStation(st *Station, n *Node, p *Packet) bool {
 	}
 	ctx.Metrics.Forwarded()
 	ctx.Probe.Forwarded(ctx.engine.now, telemetry.HopDownload, p.ID, st.ID, n.ID)
+	if ck := ctx.Check; ck != nil {
+		ck.Transferred(ctx.engine.now, telemetry.HopDownload, p, st.ID, n.ID)
+	}
 	ctx.deliverPacket(p, st.ID)
 	return true
 }
@@ -296,6 +325,7 @@ func New(tr *trace.Trace, r Router, w *Workload, cfg Config) *Engine {
 		Rand:    rand.New(rand.NewSource(cfg.Seed)),
 		Metrics: &metrics.Collector{},
 		Probe:   cfg.Probe,
+		Check:   cfg.Check,
 		engine:  e,
 	}
 	for i := 0; i < tr.NumNodes; i++ {
@@ -431,6 +461,9 @@ func (e *Engine) runEvents(until trace.Time) {
 				e.ctx.Metrics.PacketGenerated()
 			}
 			e.ctx.Probe.Generated(e.now, p.ID, p.Src, p.Dst)
+			if ck := e.ctx.Check; ck != nil {
+				ck.Generated(e.now, p)
+			}
 			if p.Src == p.Dst && p.DstNode < 0 {
 				e.ctx.deliverPacket(p, p.Src)
 				continue
@@ -451,6 +484,9 @@ func (e *Engine) runEvents(until trace.Time) {
 			}
 			e.nextUnit = ev.unit + 1
 			e.router.OnTimeUnit(e.ctx, ev.unit)
+			if ck := e.ctx.Check; ck != nil {
+				ck.Scan(e.now, e.ctx)
+			}
 		case evTimer:
 			ev.fn()
 		}
@@ -467,6 +503,12 @@ func (e *Engine) Run() *Result {
 		e.router.Init(e.ctx)
 	}
 	e.runEvents(maxTime)
+	// The final scan runs before the end-of-run drain: draining flags
+	// packets terminal while leaving the buffers untouched, which would
+	// trip the "no terminal packet in a buffer" invariant by design.
+	if ck := e.ctx.Check; ck != nil {
+		ck.Scan(e.now, e.ctx)
+	}
 	// Account packets still in flight. dropPacket only flags the packet
 	// and counts it — the buffer is left untouched — so the end-of-run
 	// drain iterates the live buffers directly.
@@ -479,6 +521,9 @@ func (e *Engine) Run() *Result {
 		for _, p := range st.Buffer.Packets() {
 			e.ctx.dropPacket(p, metrics.DropEnd)
 		}
+	}
+	if ck := e.ctx.Check; ck != nil {
+		ck.Finish(e.ctx)
 	}
 	dur := e.end - e.measureFrom
 	return &Result{

@@ -68,6 +68,11 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 	if !e.started {
 		return nil, fmt.Errorf("sim: Snapshot before RunWarmup")
 	}
+	if e.ctx.Check != nil {
+		// A checker accumulates per-run lifecycle state on one goroutine;
+		// forks sharing it would race and double-count.
+		return nil, fmt.Errorf("sim: engine with an invariant checker cannot be forked")
+	}
 	for i := range e.events.ev {
 		switch e.events.ev[i].kind {
 		case evTimer:
@@ -142,6 +147,7 @@ func Fork(s *Snapshot, w *Workload, seed int64) *Engine {
 		Rand:    rand.New(rand.NewSource(seed)),
 		Metrics: s.metrics.Clone(),
 		Probe:   cfg.Probe,
+		Check:   cfg.Check,
 		engine:  e,
 	}
 	ctx.Nodes = make([]*Node, len(s.nodes))

@@ -38,8 +38,22 @@ func DefaultSmall() SmallConfig {
 
 // Small generates the compact trace.
 func Small(cfg SmallConfig) *trace.Trace {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.Landmarks < 1 {
+		cfg.Landmarks = 1
+	}
+	if cfg.Days < 1 {
+		cfg.Days = 1
+	}
 	if cfg.CycleLen < 2 {
 		cfg.CycleLen = 2
+	}
+	if cfg.Landmarks == 1 {
+		// A one-landmark routine has nowhere to cycle to; without this cap
+		// the cycle-building rejection loop below would never terminate.
+		cfg.CycleLen = 1
 	}
 	if cfg.MeanDwell <= 0 {
 		cfg.MeanDwell = 45 * trace.Minute

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadTrace asserts the parser never panics on arbitrary input and
+// that every accepted trace round-trips: Read -> WriteTo -> Read yields
+// the identical structure. Seed corpus in testdata/fuzz/FuzzReadTrace.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte("# SMALL 2 2\n0 0 0 60\n1 1 30 90\n"))
+	f.Add([]byte("# DART 3 2\nP 0 1.5 2.5\nP 1 10 20\n0 1 0 100\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("# x 1 1\n\n  \n0 0 5 5\n"))
+	f.Add([]byte("P -1 0 0\n"))
+	f.Add([]byte("# a_b 0 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo failed on accepted trace: %v", err)
+		}
+		tr2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written trace failed: %v\ninput: %q", err, data)
+		}
+		if tr.Name != tr2.Name || tr.NumNodes != tr2.NumNodes || tr.NumLandmarks != tr2.NumLandmarks {
+			t.Fatalf("header did not round-trip: %q/%d/%d vs %q/%d/%d",
+				tr.Name, tr.NumNodes, tr.NumLandmarks, tr2.Name, tr2.NumNodes, tr2.NumLandmarks)
+		}
+		if !reflect.DeepEqual(tr.Visits, tr2.Visits) {
+			t.Fatalf("visits did not round-trip:\n%v\nvs\n%v", tr.Visits, tr2.Visits)
+		}
+		if !reflect.DeepEqual(tr.Positions, tr2.Positions) {
+			t.Fatalf("positions did not round-trip:\n%v\nvs\n%v", tr.Positions, tr2.Positions)
+		}
+	})
+}

@@ -212,7 +212,11 @@ func (c Characteristics) String() string {
 func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
-	c, err := fmt.Fprintf(bw, "# %s %d %d\n", strings.ReplaceAll(tr.Name, " ", "_"), tr.NumNodes, tr.NumLandmarks)
+	name := strings.ReplaceAll(tr.Name, " ", "_")
+	if name == "" {
+		name = "-" // sentinel: an empty field would break the header line
+	}
+	c, err := fmt.Fprintf(bw, "# %s %d %d\n", name, tr.NumNodes, tr.NumLandmarks)
 	n += int64(c)
 	if err != nil {
 		return n, err
@@ -234,6 +238,11 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
+// maxPositionIndex bounds the landmark index accepted on a position line:
+// a corrupt "P" record must fail parsing instead of sizing the position
+// slice from attacker- (or fuzzer-) controlled input.
+const maxPositionIndex = 1 << 20
+
 // Read parses a trace previously written by WriteTo.
 func Read(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
@@ -252,7 +261,11 @@ func Read(r io.Reader) (*Trace, error) {
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("trace line %d: bad header %q", line, text)
 			}
-			tr.Name = strings.ReplaceAll(fields[1], "_", " ")
+			if fields[1] == "-" {
+				tr.Name = ""
+			} else {
+				tr.Name = strings.ReplaceAll(fields[1], "_", " ")
+			}
 			var err error
 			if tr.NumNodes, err = strconv.Atoi(fields[2]); err != nil {
 				return nil, fmt.Errorf("trace line %d: %v", line, err)
@@ -267,6 +280,9 @@ func Read(r io.Reader) (*Trace, error) {
 			idx, err := strconv.Atoi(fields[1])
 			if err != nil {
 				return nil, fmt.Errorf("trace line %d: %v", line, err)
+			}
+			if idx < 0 || idx > maxPositionIndex {
+				return nil, fmt.Errorf("trace line %d: position index %d out of range", line, idx)
 			}
 			x, err := strconv.ParseFloat(fields[2], 64)
 			if err != nil {

@@ -1,0 +1,480 @@
+package validate
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Packet lifecycle states tracked by the checker.
+const (
+	stLive uint8 = iota
+	stDelivered
+	stDropped
+)
+
+// Entity kinds for packet holders.
+const (
+	holderStation uint8 = iota
+	holderNode
+)
+
+// pktState is the checker's shadow record of one packet: where the packet
+// is, whether it has left the system, and the immutable facts (size,
+// creation, expiry) the invariants are phrased against.
+type pktState struct {
+	status     uint8
+	holderKind uint8
+	reason     metrics.DropReason
+	holder     int32
+	size       int64
+	created    trace.Time
+	expiry     trace.Time
+	scanEpoch  uint32 // stamp of the last full-state scan that found it
+}
+
+// Checker is the concrete sim.Checker: it shadows every packet's lifecycle
+// and location, verifies buffer accounting and capacities at every scan
+// point, rejects NaN routing scores and inconsistent distance-vector
+// tables, and cross-checks its own conservation counts against
+// metrics.Collector and the telemetry recorder at the end of the run.
+//
+// Like the engine it watches, a Checker serves one run on one goroutine;
+// give each run its own. The end-of-run telemetry cross-check assumes the
+// run's recorder (when one is attached) is fresh — a recorder shared
+// across runs accumulates counters and would produce spurious violations.
+//
+// All methods are safe on a nil receiver, mirroring telemetry.Probe, so a
+// typed-nil *Checker stored in sim.Config.Check behaves as disabled.
+type Checker struct {
+	vs      violations
+	packets map[int]*pktState
+	lastT   trace.Time
+
+	generated int
+	delivered int
+	dropped   [len(metrics.DropReasonNames)]int
+	transfers [3]int64 // by telemetry.HopKind
+
+	epoch    uint32
+	finished bool
+}
+
+var _ sim.Checker = (*Checker)(nil)
+
+// NewChecker returns an empty checker ready to attach to one run via
+// sim.Config.Check.
+func NewChecker() *Checker {
+	return &Checker{packets: make(map[int]*pktState)}
+}
+
+// Violations returns the recorded breaches (bounded; see ViolationCount
+// for the exact total).
+func (c *Checker) Violations() []Violation {
+	if c == nil {
+		return nil
+	}
+	return c.vs.held
+}
+
+// ViolationCount returns the exact number of breaches observed.
+func (c *Checker) ViolationCount() int {
+	if c == nil {
+		return 0
+	}
+	return c.vs.total
+}
+
+// Err summarizes the violations as one error, nil when the run was clean.
+func (c *Checker) Err() error {
+	if c == nil {
+		return nil
+	}
+	return c.vs.summarize("validate")
+}
+
+// monotonic asserts the engine clock never runs backwards across hooks.
+func (c *Checker) monotonic(now trace.Time) {
+	if now < c.lastT {
+		c.vs.add(now, "time-regression", "hook at t=%d after hook at t=%d", now, c.lastT)
+	}
+	c.lastT = now
+}
+
+// Generated implements sim.Checker.
+func (c *Checker) Generated(now trace.Time, p *sim.Packet) {
+	if c == nil {
+		return
+	}
+	c.monotonic(now)
+	if _, dup := c.packets[p.ID]; dup {
+		c.vs.add(now, "duplicate-id", "packet id %d generated twice", p.ID)
+		return
+	}
+	if p.Created != now {
+		c.vs.add(now, "created-mismatch", "%v generated at t=%d but Created=%d", p, now, p.Created)
+	}
+	if p.Expiry <= p.Created {
+		c.vs.add(now, "expiry-before-creation", "%v has Expiry=%d <= Created=%d", p, p.Expiry, p.Created)
+	}
+	if p.Size <= 0 {
+		c.vs.add(now, "non-positive-size", "%v has size %d", p, p.Size)
+	}
+	if p.Done() {
+		c.vs.add(now, "generated-terminal", "%v already terminal at generation", p)
+	}
+	c.generated++
+	// The engine hands the packet to the source station right after this
+	// hook (or delivers/drops it immediately, which overrides the holder).
+	c.packets[p.ID] = &pktState{
+		status:     stLive,
+		holderKind: holderStation,
+		holder:     int32(p.Src),
+		size:       p.Size,
+		created:    p.Created,
+		expiry:     p.Expiry,
+	}
+}
+
+// Transferred implements sim.Checker.
+func (c *Checker) Transferred(now trace.Time, hop telemetry.HopKind, p *sim.Packet, from, to int) {
+	if c == nil {
+		return
+	}
+	c.monotonic(now)
+	if int(hop) < len(c.transfers) {
+		c.transfers[hop]++
+	}
+	s, ok := c.packets[p.ID]
+	if !ok {
+		c.vs.add(now, "untracked-transfer", "%v transferred but never generated", p)
+		return
+	}
+	if s.status != stLive {
+		c.vs.add(now, "forwarded-after-done", "%v forwarded after leaving the system", p)
+	}
+	if now >= s.expiry {
+		c.vs.add(now, "forwarded-expired", "%v forwarded at t=%d past expiry %d", p, now, s.expiry)
+	}
+	var fromKind, toKind uint8
+	switch hop {
+	case telemetry.HopUpload:
+		fromKind, toKind = holderNode, holderStation
+	case telemetry.HopDownload:
+		fromKind, toKind = holderStation, holderNode
+	case telemetry.HopRelay:
+		fromKind, toKind = holderNode, holderNode
+	default:
+		c.vs.add(now, "unknown-hop", "%v transferred with hop kind %d", p, hop)
+		return
+	}
+	if s.holderKind != fromKind || s.holder != int32(from) {
+		c.vs.add(now, "teleport", "%v transferred from %s %d but held by %s %d",
+			p, holderName(fromKind), from, holderName(s.holderKind), s.holder)
+	}
+	s.holderKind, s.holder = toKind, int32(to)
+}
+
+func holderName(kind uint8) string {
+	if kind == holderStation {
+		return "station"
+	}
+	return "node"
+}
+
+// Delivered implements sim.Checker.
+func (c *Checker) Delivered(now trace.Time, p *sim.Packet, at int) {
+	if c == nil {
+		return
+	}
+	c.monotonic(now)
+	s, ok := c.packets[p.ID]
+	if !ok {
+		c.vs.add(now, "untracked-delivery", "%v delivered but never generated", p)
+		return
+	}
+	if s.status != stLive {
+		c.vs.add(now, "double-terminal", "%v delivered after already leaving the system", p)
+		return
+	}
+	if now >= s.expiry {
+		c.vs.add(now, "delivered-expired", "%v delivered at t=%d past expiry %d", p, now, s.expiry)
+	}
+	if p.DstNode < 0 && at != p.Dst {
+		c.vs.add(now, "delivered-wrong-landmark", "%v delivered at landmark %d", p, at)
+	}
+	s.status = stDelivered
+	c.delivered++
+}
+
+// Dropped implements sim.Checker.
+func (c *Checker) Dropped(now trace.Time, p *sim.Packet, reason metrics.DropReason) {
+	if c == nil {
+		return
+	}
+	c.monotonic(now)
+	s, ok := c.packets[p.ID]
+	if !ok {
+		c.vs.add(now, "untracked-drop", "%v dropped but never generated", p)
+		return
+	}
+	if s.status != stLive {
+		c.vs.add(now, "double-terminal", "%v dropped after already leaving the system", p)
+		return
+	}
+	if reason == metrics.DropTTL && now < s.expiry {
+		c.vs.add(now, "ttl-drop-early", "%v dropped for TTL at t=%d before expiry %d", p, now, s.expiry)
+	}
+	s.status = stDropped
+	s.reason = reason
+	if int(reason) < len(c.dropped) {
+		c.dropped[reason]++
+	} else {
+		c.vs.add(now, "unknown-drop-reason", "%v dropped with reason %d", p, reason)
+	}
+}
+
+// Score implements sim.Checker: a NaN suitability score silently poisons
+// every best-carrier comparison it takes part in (NaN compares false), so
+// it is rejected at the source.
+func (c *Checker) Score(now trace.Time, method string, node, dst int, score float64) {
+	if c == nil {
+		return
+	}
+	if math.IsNaN(score) {
+		c.vs.add(now, "nan-score", "%s scored NaN for node %d -> landmark %d", method, node, dst)
+	}
+}
+
+// Table implements sim.Checker: per-table distance-vector consistency.
+// Cross-table triangle inequalities are deliberately not asserted —
+// neighbouring tables hold asynchronously aged vectors, so transient
+// inconsistency between tables is correct behaviour, not a bug. Within one
+// table the merge must still produce sane routes:
+//
+//   - no negative or NaN delays; reachable entries are finite
+//   - the next hop is a neighbour with a finite link delay, never the owner
+//   - the overall delay is at least the first-hop link delay
+//   - the backup differs from the primary and is never faster
+//   - the owner has no route to itself
+func (c *Checker) Table(now trace.Time, lm int, t *routing.Table) {
+	if c == nil || t == nil {
+		return
+	}
+	c.monotonic(now)
+	if t.Owner != lm {
+		c.vs.add(now, "table-owner", "landmark %d reported table owned by %d", lm, t.Owner)
+	}
+	if e, ok := t.Lookup(lm); ok {
+		c.vs.add(now, "self-route", "landmark %d routes to itself via %d", lm, e.Next)
+	}
+	for d := 0; d < t.Size(); d++ {
+		e, ok := t.Lookup(d)
+		if !ok {
+			continue
+		}
+		if math.IsNaN(e.Delay) || e.Delay < 0 || e.Delay >= routing.Infinite {
+			c.vs.add(now, "bad-delay", "landmark %d -> %d has delay %g", lm, d, e.Delay)
+			continue
+		}
+		ld := t.LinkDelay(e.Next)
+		if e.Next == lm || ld >= routing.Infinite {
+			c.vs.add(now, "next-not-neighbor", "landmark %d -> %d via %d (link delay %g)", lm, d, e.Next, ld)
+		} else if e.Delay < ld {
+			c.vs.add(now, "delay-below-first-hop", "landmark %d -> %d delay %g < first hop %g", lm, d, e.Delay, ld)
+		}
+		if e.Backup >= 0 {
+			if e.Backup == e.Next {
+				c.vs.add(now, "backup-equals-next", "landmark %d -> %d backup == next == %d", lm, d, e.Next)
+			}
+			if math.IsNaN(e.BackupDelay) || e.BackupDelay < e.Delay {
+				c.vs.add(now, "backup-faster", "landmark %d -> %d backup delay %g < primary %g",
+					lm, d, e.BackupDelay, e.Delay)
+			}
+		}
+	}
+}
+
+// Scan implements sim.Checker: the full-state sweep at every measurement
+// unit boundary and once before the end-of-run drain. It verifies buffer
+// byte accounting, capacity limits (node memory and station memory), that
+// every buffered packet is a tracked live packet held exactly once, that
+// every tracked live packet is buffered somewhere (conservation), and that
+// the presence sets agree with the nodes' positions.
+func (c *Checker) Scan(now trace.Time, ctx *sim.Context) {
+	if c == nil {
+		return
+	}
+	c.monotonic(now)
+	c.epoch++
+	for _, n := range ctx.Nodes {
+		c.scanBuffer(now, n.Buffer, ctx.Cfg.NodeMemory, holderNode, n.ID)
+		if n.At < -1 || n.At >= ctx.NumLandmarks() {
+			c.vs.add(now, "position-out-of-range", "node %d at landmark %d", n.ID, n.At)
+		}
+	}
+	for _, st := range ctx.Stations {
+		c.scanBuffer(now, st.Buffer, ctx.Cfg.StationMemory, holderStation, st.ID)
+	}
+	// Conservation: generated = delivered + dropped + live, and every live
+	// packet was just found in exactly one buffer (scanBuffer stamps them).
+	live := 0
+	for id, s := range c.packets {
+		if s.status != stLive {
+			continue
+		}
+		live++
+		if s.scanEpoch != c.epoch {
+			c.vs.add(now, "lost-packet", "pkt#%d live but held by no buffer (last seen at %s %d)",
+				id, holderName(s.holderKind), s.holder)
+		}
+	}
+	if got := c.generated - c.delivered - c.totalDropped(); got != live {
+		c.vs.add(now, "conservation", "generated %d != delivered %d + dropped %d + live %d",
+			c.generated, c.delivered, c.totalDropped(), live)
+	}
+	// Presence sets: ID-ordered, and each member is really at the landmark.
+	for lm := 0; lm < ctx.NumLandmarks(); lm++ {
+		prev := -1
+		for _, n := range ctx.NodesAt(lm) {
+			if n.At != lm {
+				c.vs.add(now, "presence-mismatch", "node %d listed at landmark %d but At=%d", n.ID, lm, n.At)
+			}
+			if n.ID <= prev {
+				c.vs.add(now, "presence-order", "landmark %d presence set out of ID order at node %d", lm, n.ID)
+			}
+			prev = n.ID
+		}
+	}
+}
+
+// scanBuffer verifies one buffer's accounting and stamps its packets.
+func (c *Checker) scanBuffer(now trace.Time, b *sim.Buffer, capacity int64, kind uint8, id int) {
+	var sum int64
+	for _, p := range b.Packets() {
+		sum += p.Size
+		s, ok := c.packets[p.ID]
+		if !ok {
+			c.vs.add(now, "untracked-packet", "%s %d holds never-generated %v", holderName(kind), id, p)
+			continue
+		}
+		if s.status != stLive {
+			c.vs.add(now, "terminal-in-buffer", "%s %d holds terminal %v", holderName(kind), id, p)
+		}
+		if s.holderKind != kind || s.holder != int32(id) {
+			c.vs.add(now, "location-mismatch", "%v found at %s %d but tracked at %s %d",
+				p, holderName(kind), id, holderName(s.holderKind), s.holder)
+		}
+		if s.scanEpoch == c.epoch {
+			c.vs.add(now, "duplicate-in-buffers", "%v held by more than one buffer", p)
+		}
+		s.scanEpoch = c.epoch
+	}
+	if sum != b.Used() {
+		c.vs.add(now, "buffer-used-mismatch", "%s %d reports %d bytes used, packets sum to %d",
+			holderName(kind), id, b.Used(), sum)
+	}
+	if b.Capacity > 0 && b.Used() > b.Capacity {
+		c.vs.add(now, "buffer-overflow", "%s %d holds %d bytes over capacity %d",
+			holderName(kind), id, b.Used(), b.Capacity)
+	}
+	if b.Capacity != capacity {
+		c.vs.add(now, "buffer-capacity-mismatch", "%s %d buffer capacity %d != configured %d",
+			holderName(kind), id, b.Capacity, capacity)
+	}
+}
+
+func (c *Checker) totalDropped() int {
+	n := 0
+	for _, d := range c.dropped {
+		n += d
+	}
+	return n
+}
+
+// Finish implements sim.Checker: terminal cross-checks after the
+// end-of-run drain. Every packet must have left the system, the checker's
+// measured-window counts must equal the metrics collector's, the transfer
+// count must equal the forwarding-cost metric, and — when the run carried
+// a telemetry recorder — the recorder's exact counters must agree event
+// for event.
+func (c *Checker) Finish(ctx *sim.Context) {
+	if c == nil {
+		return
+	}
+	if c.finished {
+		c.vs.add(c.lastT, "double-finish", "Finish called twice")
+		return
+	}
+	c.finished = true
+	now := c.lastT
+	measureFrom := ctx.MeasureFrom()
+
+	var mGen, mDel int
+	var mDrop [len(metrics.DropReasonNames)]int
+	for id, s := range c.packets {
+		if s.status == stLive {
+			c.vs.add(now, "unterminated-packet", "pkt#%d still live after the end-of-run drain", id)
+			continue
+		}
+		if s.created < measureFrom {
+			continue
+		}
+		mGen++
+		if s.status == stDelivered {
+			mDel++
+		} else {
+			mDrop[s.reason]++
+		}
+	}
+	m := ctx.Metrics
+	if mGen != m.Generated {
+		c.vs.add(now, "metrics-generated", "checker counts %d measured packets, metrics %d", mGen, m.Generated)
+	}
+	if mDel != m.Delivered {
+		c.vs.add(now, "metrics-delivered", "checker counts %d measured deliveries, metrics %d", mDel, m.Delivered)
+	}
+	for r := range mDrop {
+		if mDrop[r] != m.Dropped[r] {
+			c.vs.add(now, "metrics-dropped", "checker counts %d measured %s drops, metrics %d",
+				mDrop[r], metrics.DropReason(r), m.Dropped[r])
+		}
+	}
+	var transfers int64
+	for _, t := range c.transfers {
+		transfers += t
+	}
+	if transfers != m.ForwardingOps {
+		c.vs.add(now, "metrics-forwarding", "checker counts %d transfers, metrics %d forwarding ops",
+			transfers, m.ForwardingOps)
+	}
+
+	rec := ctx.Probe.Recorder()
+	if rec == nil {
+		return
+	}
+	// The recorder counts every packet regardless of the measurement
+	// window, like the checker's own totals.
+	cs := rec.Counters()
+	c.crossCount(now, cs.Events, "generated", uint64(c.generated))
+	c.crossCount(now, cs.Events, "delivered", uint64(c.delivered))
+	c.crossCount(now, cs.Events, "dropped", uint64(c.totalDropped()))
+	for r, n := range c.dropped {
+		c.crossCount(now, cs.Drops, metrics.DropReason(r).String(), uint64(n))
+	}
+	for h, n := range c.transfers {
+		c.crossCount(now, cs.Hops, telemetry.HopKind(h).String(), uint64(n))
+	}
+}
+
+// crossCount compares one checker total against a telemetry counter map
+// (missing keys mean zero).
+func (c *Checker) crossCount(now trace.Time, m map[string]uint64, key string, want uint64) {
+	if got := m[key]; got != want {
+		c.vs.add(now, "telemetry-"+key, "telemetry counts %d %s, checker %d", got, key, want)
+	}
+}

@@ -1,0 +1,235 @@
+package validate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// hasViolation reports whether the checker recorded a breach of rule.
+func hasViolation(c *Checker, rule string) bool {
+	for _, v := range c.Violations() {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func newPacket(id int, created, expiry trace.Time) *sim.Packet {
+	return &sim.Packet{ID: id, Src: 0, Dst: 1, DstNode: -1, Size: 1024, Created: created, Expiry: expiry}
+}
+
+func TestCheckerNilReceiver(t *testing.T) {
+	var c *Checker
+	// Every hook and accessor must be a no-op on a typed nil, mirroring
+	// telemetry.Probe.
+	c.Generated(0, newPacket(0, 0, 10))
+	c.Transferred(0, telemetry.HopUpload, newPacket(0, 0, 10), 0, 0)
+	c.Delivered(0, newPacket(0, 0, 10), 0)
+	c.Dropped(0, newPacket(0, 0, 10), metrics.DropTTL)
+	c.Score(0, "x", 0, 0, math.NaN())
+	c.Table(0, 0, nil)
+	c.Finish(nil)
+	if c.Err() != nil || c.ViolationCount() != 0 || c.Violations() != nil {
+		t.Fatal("nil checker must report nothing")
+	}
+}
+
+func TestCheckerLifecycleRules(t *testing.T) {
+	tests := []struct {
+		rule string
+		feed func(c *Checker)
+	}{
+		{"duplicate-id", func(c *Checker) {
+			c.Generated(5, newPacket(1, 5, 100))
+			c.Generated(6, newPacket(1, 6, 100))
+		}},
+		{"created-mismatch", func(c *Checker) {
+			c.Generated(5, newPacket(1, 4, 100))
+		}},
+		{"expiry-before-creation", func(c *Checker) {
+			c.Generated(5, newPacket(1, 5, 5))
+		}},
+		{"time-regression", func(c *Checker) {
+			c.Generated(10, newPacket(1, 10, 100))
+			c.Generated(5, newPacket(2, 5, 100))
+		}},
+		{"untracked-transfer", func(c *Checker) {
+			c.Transferred(5, telemetry.HopUpload, newPacket(9, 0, 100), 0, 1)
+		}},
+		{"forwarded-after-done", func(c *Checker) {
+			p := newPacket(1, 5, 100)
+			c.Generated(5, p)
+			c.Delivered(6, p, p.Dst)
+			c.Transferred(7, telemetry.HopDownload, p, 0, 1)
+		}},
+		{"forwarded-expired", func(c *Checker) {
+			p := newPacket(1, 5, 10)
+			c.Generated(5, p)
+			c.Transferred(10, telemetry.HopDownload, p, 0, 1)
+		}},
+		{"teleport", func(c *Checker) {
+			p := newPacket(1, 5, 100)
+			c.Generated(5, p) // held by station 0
+			c.Transferred(6, telemetry.HopRelay, p, 3, 4)
+		}},
+		{"double-terminal", func(c *Checker) {
+			p := newPacket(1, 5, 100)
+			c.Generated(5, p)
+			c.Delivered(6, p, p.Dst)
+			c.Dropped(7, p, metrics.DropEnd)
+		}},
+		{"delivered-expired", func(c *Checker) {
+			p := newPacket(1, 5, 10)
+			c.Generated(5, p)
+			c.Delivered(12, p, p.Dst)
+		}},
+		{"delivered-wrong-landmark", func(c *Checker) {
+			p := newPacket(1, 5, 100)
+			c.Generated(5, p)
+			c.Delivered(6, p, p.Dst+1)
+		}},
+		{"ttl-drop-early", func(c *Checker) {
+			p := newPacket(1, 5, 100)
+			c.Generated(5, p)
+			c.Dropped(6, p, metrics.DropTTL)
+		}},
+		{"nan-score", func(c *Checker) {
+			c.Score(5, "PER", 0, 1, math.NaN())
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.rule, func(t *testing.T) {
+			c := NewChecker()
+			tc.feed(c)
+			if !hasViolation(c, tc.rule) {
+				t.Fatalf("expected violation %q, got %v", tc.rule, c.Violations())
+			}
+		})
+	}
+}
+
+func TestCheckerTableRules(t *testing.T) {
+	// A vector advertising a negative delay must be flagged.
+	tb := routing.NewTable(0, 3)
+	tb.SetLinkDelay(1, 10)
+	vec := []float64{routing.Infinite, routing.Infinite, -50}
+	tb.MergeVector(1, vec, 1)
+	c := NewChecker()
+	c.Table(0, 0, tb)
+	if !hasViolation(c, "bad-delay") {
+		t.Fatalf("expected bad-delay, got %v", c.Violations())
+	}
+
+	// A consistent table must pass.
+	ok := routing.NewTable(0, 3)
+	ok.SetLinkDelay(1, 10)
+	ok.SetLinkDelay(2, 30)
+	ok.MergeVector(1, []float64{routing.Infinite, routing.Infinite, 15}, 1)
+	c2 := NewChecker()
+	c2.Table(0, 0, ok)
+	if err := c2.Err(); err != nil {
+		t.Fatalf("consistent table flagged: %v", err)
+	}
+
+	// Owner mismatch.
+	c3 := NewChecker()
+	c3.Table(0, 2, ok)
+	if !hasViolation(c3, "table-owner") {
+		t.Fatal("expected table-owner violation")
+	}
+}
+
+// misbehavingRouter wraps a clean run and then corrupts engine state in a
+// configurable way, so the tests can prove the scan-level rules detect
+// real corruption rather than just exercising the happy path.
+type misbehavingRouter struct {
+	corrupt func(ctx *sim.Context, p *sim.Packet)
+	done    bool
+}
+
+func (r *misbehavingRouter) Name() string                          { return "misbehaving" }
+func (r *misbehavingRouter) Init(*sim.Context)                     {}
+func (r *misbehavingRouter) OnContact(*sim.Context, *sim.Contact)  {}
+func (r *misbehavingRouter) OnDepart(*sim.Context, *sim.Node, int) {}
+func (r *misbehavingRouter) OnTimeUnit(*sim.Context, int)          {}
+func (r *misbehavingRouter) OnGenerate(ctx *sim.Context, p *sim.Packet) {
+	if !r.done {
+		r.done = true
+		r.corrupt(ctx, p)
+	}
+}
+
+// runMisbehaving runs a tiny scenario under a router that corrupts state
+// once and returns the checker.
+func runMisbehaving(t *testing.T, corrupt func(ctx *sim.Context, p *sim.Packet)) *Checker {
+	t.Helper()
+	tr := synth.Small(synth.DefaultSmall())
+	ck := NewChecker()
+	cfg := sim.DefaultConfig(tr.Duration())
+	cfg.TTL = 2 * trace.Day
+	cfg.Unit = 12 * trace.Hour
+	cfg.Check = ck
+	w := sim.NewWorkload(50, cfg.PacketSize, cfg.TTL)
+	sim.New(tr, &misbehavingRouter{corrupt: corrupt}, w, cfg).Run()
+	return ck
+}
+
+func TestCheckerCatchesCorruption(t *testing.T) {
+	t.Run("lost-packet", func(t *testing.T) {
+		ck := runMisbehaving(t, func(ctx *sim.Context, p *sim.Packet) {
+			ctx.Stations[p.Src].Buffer.Remove(p) // vanish without a drop
+		})
+		if !hasViolation(ck, "lost-packet") {
+			t.Fatalf("expected lost-packet, got %v", ck.Violations())
+		}
+	})
+	t.Run("duplicate-in-buffers", func(t *testing.T) {
+		ck := runMisbehaving(t, func(ctx *sim.Context, p *sim.Packet) {
+			ctx.Nodes[0].Buffer.Add(p) // second copy of a single-copy packet
+		})
+		if !hasViolation(ck, "duplicate-in-buffers") {
+			t.Fatalf("expected duplicate-in-buffers, got %v", ck.Violations())
+		}
+	})
+	t.Run("buffer-capacity-mismatch", func(t *testing.T) {
+		ck := runMisbehaving(t, func(ctx *sim.Context, p *sim.Packet) {
+			ctx.Nodes[0].Buffer.Capacity /= 2 // silently shrink a buffer
+		})
+		if !hasViolation(ck, "buffer-capacity-mismatch") {
+			t.Fatalf("expected buffer-capacity-mismatch, got %v", ck.Violations())
+		}
+	})
+	t.Run("metrics-generated", func(t *testing.T) {
+		ck := runMisbehaving(t, func(ctx *sim.Context, p *sim.Packet) {
+			ctx.Metrics.PacketGenerated() // phantom packet in the counters
+		})
+		if !hasViolation(ck, "metrics-generated") {
+			t.Fatalf("expected metrics-generated, got %v", ck.Violations())
+		}
+	})
+}
+
+func TestViolationSummaryBounded(t *testing.T) {
+	c := NewChecker()
+	for i := 0; i < 3*maxHeldViolations; i++ {
+		c.Score(trace.Time(i), "PER", 0, 1, math.NaN())
+	}
+	if got := c.ViolationCount(); got != 3*maxHeldViolations {
+		t.Fatalf("count = %d, want %d", got, 3*maxHeldViolations)
+	}
+	if got := len(c.Violations()); got != maxHeldViolations {
+		t.Fatalf("held = %d, want %d", got, maxHeldViolations)
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "more") {
+		t.Fatalf("summary should mention elided violations: %v", err)
+	}
+}

@@ -1,0 +1,423 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// ScenarioSpec is a compact, fully clamped description of a randomized
+// small scenario: a routine-based trace (synth.Small) plus the simulation
+// knobs the invariants are sensitive to. Every field is normalized into a
+// bounded range before use, so arbitrary fuzzer-mutated values always
+// yield a runnable scenario — the property under test never gets to hide
+// behind a construction error.
+type ScenarioSpec struct {
+	Seed         int64
+	Nodes        int
+	Landmarks    int
+	Days         int
+	CycleLen     int
+	TTLHours     int
+	NodeMemKB    int
+	StationMemKB int // 0 = unlimited, the paper's setting
+	RatePerDay   int
+	LinkRate     float64
+	FollowPct    int // routine-following probability, percent
+	MissPct      int // visit-record loss probability, percent
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampFloat(v, lo, hi float64) float64 {
+	if !(v >= lo) { // catches NaN
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Normalize clamps every field into its valid range and returns the
+// result. The bounds keep a single run in the low milliseconds, so a fuzz
+// iteration (a dozen runs per spec) stays cheap.
+func (s ScenarioSpec) Normalize() ScenarioSpec {
+	if s.Seed < 0 {
+		s.Seed = -s.Seed
+	}
+	s.Nodes = clampInt(s.Nodes, 2, 40)
+	s.Landmarks = clampInt(s.Landmarks, 2, 10)
+	s.Days = clampInt(s.Days, 2, 8)
+	s.CycleLen = clampInt(s.CycleLen, 2, 5)
+	s.TTLHours = clampInt(s.TTLHours, 2, 96)
+	s.NodeMemKB = clampInt(s.NodeMemKB, 1, 64)
+	s.StationMemKB = clampInt(s.StationMemKB, 0, 64)
+	s.RatePerDay = clampInt(s.RatePerDay, 1, 200)
+	s.LinkRate = clampFloat(s.LinkRate, 0.05, 4)
+	s.FollowPct = clampInt(s.FollowPct, 50, 95)
+	s.MissPct = clampInt(s.MissPct, 0, 30)
+	return s
+}
+
+func (s ScenarioSpec) String() string {
+	return fmt.Sprintf("spec{seed=%d nodes=%d lms=%d days=%d cycle=%d ttl=%dh mem=%dkB stmem=%dkB rate=%d/d link=%.2f follow=%d%% miss=%d%%}",
+		s.Seed, s.Nodes, s.Landmarks, s.Days, s.CycleLen, s.TTLHours, s.NodeMemKB,
+		s.StationMemKB, s.RatePerDay, s.LinkRate, s.FollowPct, s.MissPct)
+}
+
+// Trace generates the spec's mobility trace (deterministic in the spec).
+func (s ScenarioSpec) Trace() *trace.Trace {
+	return synth.Small(synth.SmallConfig{
+		Seed:       s.Seed,
+		Nodes:      s.Nodes,
+		Landmarks:  s.Landmarks,
+		Days:       s.Days,
+		CycleLen:   s.CycleLen,
+		FollowProb: float64(s.FollowPct) / 100,
+		MissProb:   float64(s.MissPct) / 100,
+	})
+}
+
+// Config returns the sim configuration for the given trace duration.
+func (s ScenarioSpec) Config(duration trace.Time) sim.Config {
+	cfg := sim.DefaultConfig(duration)
+	cfg.Seed = s.Seed + 1
+	cfg.TTL = trace.Time(s.TTLHours) * trace.Hour
+	cfg.Unit = 6 * trace.Hour
+	cfg.NodeMemory = int64(s.NodeMemKB) * 1024
+	cfg.StationMemory = int64(s.StationMemKB) * 1024
+	cfg.LinkRate = s.LinkRate
+	return cfg
+}
+
+// runOn simulates one method on the given trace with optional checker and
+// probe attached.
+func (s ScenarioSpec) runOn(tr *trace.Trace, method string, ck sim.Checker, probe *telemetry.Probe) metrics.Summary {
+	cfg := s.Config(tr.Duration())
+	cfg.Check = ck
+	cfg.Probe = probe
+	w := sim.NewWorkload(float64(s.RatePerDay), cfg.PacketSize, cfg.TTL)
+	eng := sim.New(tr, experiment.NewRouter(method), w, cfg)
+	return eng.Run().Summary
+}
+
+// Run simulates one method on the spec's own trace.
+func (s ScenarioSpec) Run(method string, ck sim.Checker, probe *telemetry.Probe) metrics.Summary {
+	return s.runOn(s.Trace(), method, ck, probe)
+}
+
+// method picks the spec's designated single-run method, rotating through
+// the comparison set so a fuzz campaign exercises all of them.
+func (s ScenarioSpec) method() string {
+	i := int(s.Seed+int64(s.Nodes)) % len(experiment.MethodNames)
+	if i < 0 {
+		i += len(experiment.MethodNames)
+	}
+	return experiment.MethodNames[i]
+}
+
+// RandomSpec draws a spec from the generator's full parameter space.
+func RandomSpec(rng *rand.Rand) ScenarioSpec {
+	return ScenarioSpec{
+		Seed:         rng.Int63n(1 << 32),
+		Nodes:        4 + rng.Intn(37),
+		Landmarks:    2 + rng.Intn(9),
+		Days:         2 + rng.Intn(7),
+		CycleLen:     2 + rng.Intn(4),
+		TTLHours:     2 + rng.Intn(95),
+		NodeMemKB:    1 + rng.Intn(64),
+		StationMemKB: rng.Intn(65),
+		RatePerDay:   1 + rng.Intn(200),
+		LinkRate:     0.05 + rng.Float64()*3.95,
+		FollowPct:    50 + rng.Intn(46),
+		MissPct:      rng.Intn(31),
+	}.Normalize()
+}
+
+// FuzzOptions tunes a fuzz campaign.
+type FuzzOptions struct {
+	Specs       int     // number of random specs to try (default 20)
+	Seed        int64   // campaign RNG seed (default 1)
+	MaxFailures int     // stop after this many shrunk failures (default 1)
+	Tol         float64 // metamorphic tolerance on success rate (default 0.12)
+	MinSlack    int     // absolute packet-count slack for metamorphic checks (default 3)
+	Log         func(format string, args ...any)
+}
+
+func (o FuzzOptions) normalized() FuzzOptions {
+	if o.Specs <= 0 {
+		o.Specs = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxFailures <= 0 {
+		o.MaxFailures = 1
+	}
+	if o.Tol <= 0 {
+		o.Tol = 0.12
+	}
+	if o.MinSlack <= 0 {
+		o.MinSlack = 3
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// FuzzFailure is one property violation, shrunk to a minimal spec.
+type FuzzFailure struct {
+	Original ScenarioSpec // spec the failure was first found on
+	Spec     ScenarioSpec // shrunk reproduction
+	Property string
+	Detail   string
+	Shrinks  int // accepted shrink steps
+}
+
+func (f FuzzFailure) String() string {
+	return fmt.Sprintf("property %q failed (%d shrinks): %s\n  repro: %v", f.Property, f.Shrinks, f.Detail, f.Spec)
+}
+
+// property is one checkable law of the simulator; fn returns "" on pass
+// and a failure detail otherwise.
+type property struct {
+	name string
+	fn   func(s ScenarioSpec, opt FuzzOptions) string
+}
+
+// properties is the fuzzer's battery, ordered cheap-first. The metamorphic
+// properties are tolerance-based, not exact: delivery success is not a
+// strict theorem in TTL or buffer size (scores depend on remaining TTL, so
+// a longer deadline can reroute packets worse), and node relabeling
+// changes the tie-break order of simultaneous visits. The tolerances are
+// calibrated so real regressions (inverted comparisons, leaked capacity)
+// still trip them.
+var properties = []property{
+	{"invariants", propInvariants},
+	{"checker-neutral", propCheckerNeutral},
+	{"rerun-deterministic", propRerun},
+	{"relabel-invariant", propRelabel},
+	{"ttl-monotone", propTTLMonotone},
+	{"buffer-monotone", propBufferMonotone},
+}
+
+// propInvariants runs every method under the invariant checker with a
+// telemetry recorder attached (so the end-of-run cross-checks fire too).
+func propInvariants(s ScenarioSpec, opt FuzzOptions) string {
+	tr := s.Trace()
+	for _, m := range experiment.MethodNames {
+		ck := NewChecker()
+		rec := telemetry.NewRecorder(1 << 12)
+		s.runOn(tr, m, ck, telemetry.NewProbe(rec))
+		if err := ck.Err(); err != nil {
+			return fmt.Sprintf("%s: %v", m, err)
+		}
+	}
+	return ""
+}
+
+// propCheckerNeutral asserts the checker observes without interfering: the
+// summary of a checked+probed run is bit-identical to an unobserved one.
+func propCheckerNeutral(s ScenarioSpec, opt FuzzOptions) string {
+	m := s.method()
+	plain := s.Run(m, nil, nil)
+	watched := s.Run(m, NewChecker(), telemetry.NewProbe(telemetry.NewRecorder(1<<10)))
+	if !reflect.DeepEqual(plain, watched) {
+		return fmt.Sprintf("%s: checked run diverged: plain %+v, checked %+v", m, plain, watched)
+	}
+	return ""
+}
+
+// propRerun asserts equal seeds produce bit-identical results.
+func propRerun(s ScenarioSpec, opt FuzzOptions) string {
+	m := s.method()
+	a := s.Run(m, nil, nil)
+	b := s.Run(m, nil, nil)
+	if !reflect.DeepEqual(a, b) {
+		return fmt.Sprintf("%s: rerun diverged: %+v vs %+v", m, a, b)
+	}
+	return ""
+}
+
+// propRelabel asserts node identity does not matter: reversing the node
+// IDs leaves the delivery outcome within tolerance (exact equality cannot
+// hold — simultaneous visits are processed in node-ID order).
+func propRelabel(s ScenarioSpec, opt FuzzOptions) string {
+	m := s.method()
+	tr := s.Trace()
+	rl := tr.Clone()
+	rl.Name = tr.Name + "-relabel"
+	for i := range rl.Visits {
+		rl.Visits[i].Node = rl.NumNodes - 1 - rl.Visits[i].Node
+	}
+	rl.SortVisits()
+	a := s.runOn(tr, m, nil, nil)
+	b := s.runOn(rl, m, nil, nil)
+	if a.Generated != b.Generated {
+		return fmt.Sprintf("%s: relabeling changed the workload: %d vs %d generated", m, a.Generated, b.Generated)
+	}
+	if d := absInt(a.Delivered - b.Delivered); d > slack(opt, a.Generated) {
+		return fmt.Sprintf("%s: relabeling moved deliveries by %d of %d (%d vs %d)",
+			m, d, a.Generated, a.Delivered, b.Delivered)
+	}
+	return ""
+}
+
+// propTTLMonotone asserts doubling the TTL does not lose deliveries beyond
+// tolerance. The comparison runs with ample buffers: under memory
+// pressure, longer-lived packets occupy scarce buffer space longer and
+// genuinely crowd out deliverable traffic, so TTL monotonicity is only a
+// law of the congestion-free regime.
+func propTTLMonotone(s ScenarioSpec, opt FuzzOptions) string {
+	s.NodeMemKB = 64
+	s.StationMemKB = 0
+	loose := s
+	loose.TTLHours = clampInt(s.TTLHours*2, 2, 96)
+	if loose.TTLHours == s.TTLHours {
+		return ""
+	}
+	return propMonotone(s, loose, "TTL", opt)
+}
+
+// propBufferMonotone asserts doubling the node memory does not lose
+// deliveries beyond tolerance.
+func propBufferMonotone(s ScenarioSpec, opt FuzzOptions) string {
+	loose := s
+	loose.NodeMemKB = clampInt(s.NodeMemKB*2, 1, 64)
+	if loose.NodeMemKB == s.NodeMemKB {
+		return ""
+	}
+	return propMonotone(s, loose, "node memory", opt)
+}
+
+func propMonotone(tight, loose ScenarioSpec, what string, opt FuzzOptions) string {
+	m := tight.method()
+	a := tight.Run(m, nil, nil)
+	b := loose.Run(m, nil, nil)
+	if drop := a.Delivered - b.Delivered; drop > slack(opt, a.Generated) {
+		return fmt.Sprintf("%s: doubling %s lost %d of %d deliveries (%d -> %d)",
+			m, what, drop, a.Generated, a.Delivered, b.Delivered)
+	}
+	return ""
+}
+
+// slack converts the relative tolerance into an allowed packet count.
+func slack(opt FuzzOptions, generated int) int {
+	s := int(opt.Tol * float64(generated))
+	if s < opt.MinSlack {
+		s = opt.MinSlack
+	}
+	return s
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// CheckSpec runs the full property battery on one spec and returns the
+// first failing property and its detail ("", "" when all pass). The
+// native fuzz targets call this directly.
+func CheckSpec(s ScenarioSpec, opt FuzzOptions) (prop, detail string) {
+	s = s.Normalize()
+	opt = opt.normalized()
+	for _, p := range properties {
+		if d := p.fn(s, opt); d != "" {
+			return p.name, d
+		}
+	}
+	return "", ""
+}
+
+// Fuzz runs a property-based campaign: random specs through the property
+// battery, shrinking every failure to a minimal reproduction. It returns
+// the shrunk failures (nil when the campaign is clean).
+func Fuzz(opt FuzzOptions) []FuzzFailure {
+	opt = opt.normalized()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var fails []FuzzFailure
+	for i := 0; i < opt.Specs && len(fails) < opt.MaxFailures; i++ {
+		s := RandomSpec(rng)
+		prop, detail := CheckSpec(s, opt)
+		if prop == "" {
+			opt.Log("spec %d/%d ok: %v", i+1, opt.Specs, s)
+			continue
+		}
+		opt.Log("spec %d/%d FAILED %q: %s", i+1, opt.Specs, prop, detail)
+		f := shrink(s, prop, detail, opt)
+		opt.Log("shrunk after %d steps to %v", f.Shrinks, f.Spec)
+		fails = append(fails, f)
+	}
+	return fails
+}
+
+// shrink greedily minimizes a failing spec: every round proposes the
+// halving of each size-like dimension and keeps the first candidate on
+// which the same property still fails, until no reduction reproduces it.
+func shrink(s ScenarioSpec, prop, detail string, opt FuzzOptions) FuzzFailure {
+	fails := func(c ScenarioSpec) (bool, string) {
+		p, d := CheckSpec(c, opt)
+		return p == prop, d
+	}
+	f := FuzzFailure{Original: s, Spec: s, Property: prop, Detail: detail}
+	const maxRounds = 24
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for _, c := range shrinkCandidates(f.Spec) {
+			if c == f.Spec {
+				continue
+			}
+			if ok, d := fails(c); ok {
+				f.Spec, f.Detail = c, d
+				f.Shrinks++
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return f
+}
+
+// shrinkCandidates proposes one-dimension reductions of s, biggest levers
+// first (fewer days and nodes shrink the event count fastest).
+func shrinkCandidates(s ScenarioSpec) []ScenarioSpec {
+	var out []ScenarioSpec
+	mutate := func(fn func(*ScenarioSpec)) {
+		c := s
+		fn(&c)
+		out = append(out, c.Normalize())
+	}
+	mutate(func(c *ScenarioSpec) { c.Days /= 2 })
+	mutate(func(c *ScenarioSpec) { c.Nodes /= 2 })
+	mutate(func(c *ScenarioSpec) { c.RatePerDay /= 2 })
+	mutate(func(c *ScenarioSpec) { c.Landmarks /= 2 })
+	mutate(func(c *ScenarioSpec) { c.TTLHours /= 2 })
+	mutate(func(c *ScenarioSpec) { c.NodeMemKB /= 2 })
+	mutate(func(c *ScenarioSpec) { c.StationMemKB /= 2 })
+	mutate(func(c *ScenarioSpec) { c.CycleLen-- })
+	mutate(func(c *ScenarioSpec) { c.MissPct = 0 })
+	mutate(func(c *ScenarioSpec) { c.FollowPct = 90 })
+	return out
+}

@@ -1,0 +1,40 @@
+package validate
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// FuzzScenarioInvariants is the native entry point to the property
+// fuzzer's invariant battery: arbitrary parameters become a normalized
+// small scenario, and one full simulation (method rotating with the spec)
+// runs under the invariant checker with telemetry cross-checks attached.
+// The extra modulus keeps a single execution in the low milliseconds so
+// the CI fuzz smoke job gets through thousands of inputs. Seed corpus in
+// testdata/fuzz/FuzzScenarioInvariants.
+func FuzzScenarioInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(4), uint8(2), uint8(24), uint8(8), uint8(0), uint8(40))
+	f.Add(int64(42), uint8(12), uint8(6), uint8(3), uint8(6), uint8(2), uint8(4), uint8(60))
+	f.Add(int64(99), uint8(4), uint8(2), uint8(2), uint8(90), uint8(64), uint8(1), uint8(10))
+	f.Fuzz(func(t *testing.T, seed int64, nodes, landmarks, days, ttl, mem, stmem, rate uint8) {
+		spec := ScenarioSpec{
+			Seed:         seed,
+			Nodes:        int(nodes) % 13,
+			Landmarks:    int(landmarks) % 9,
+			Days:         int(days) % 4,
+			CycleLen:     3,
+			TTLHours:     int(ttl),
+			NodeMemKB:    int(mem),
+			StationMemKB: int(stmem) % 9,
+			RatePerDay:   int(rate) % 61,
+			LinkRate:     1,
+			FollowPct:    85,
+		}.Normalize()
+		ck := NewChecker()
+		spec.Run(spec.method(), ck, telemetry.NewProbe(telemetry.NewRecorder(1<<10)))
+		if err := ck.Err(); err != nil {
+			t.Fatalf("%v\nspec: %v", err, spec)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+// Package validate is the simulation validation layer: a live invariant
+// checker plugged into the engine's hook points (sim.Checker), statistical
+// checks that the synthetic traces reproduce the paper's observations
+// O1–O4, a property-based scenario fuzzer with automatic shrinking, and
+// the full battery behind the dtnflow-validate CLI. Every future
+// performance or refactoring PR runs under this safety net: the checker
+// turns the conservation-style correctness properties of DESIGN.md into
+// executable checks, and the fuzzer hunts for scenarios that break them.
+package validate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Violation is one observed breach of a simulation invariant.
+type Violation struct {
+	Time trace.Time // simulation time of the observation
+	Rule string     // short rule identifier, e.g. "buffer-overflow"
+	Msg  string     // human-readable detail
+}
+
+// String renders the violation as one report line.
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%d %s: %s", v.Time, v.Rule, v.Msg)
+}
+
+// maxHeldViolations bounds the stored violation list; a broken invariant
+// usually fires on every subsequent event, and the first few occurrences
+// carry all the signal.
+const maxHeldViolations = 64
+
+// violations accumulates breaches with a bounded store and an exact count.
+type violations struct {
+	held  []Violation
+	total int
+}
+
+func (vs *violations) add(t trace.Time, rule, format string, args ...any) {
+	vs.total++
+	if len(vs.held) < maxHeldViolations {
+		vs.held = append(vs.held, Violation{Time: t, Rule: rule, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// summarize renders the violation set as one error (nil when empty).
+func (vs *violations) summarize(what string) error {
+	if vs.total == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d invariant violation(s)", what, vs.total)
+	for _, v := range vs.held {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	if vs.total > len(vs.held) {
+		fmt.Fprintf(&b, "\n  ... and %d more", vs.total-len(vs.held))
+	}
+	return fmt.Errorf("%s", b.String())
+}

@@ -1,7 +1,9 @@
 #!/bin/sh
-# Pre-merge hygiene gate: formatting, vet, and the race detector over the
+# Pre-merge hygiene gate: formatting, vet, the race detector over the
 # packages that share state across goroutines (the parallel experiment
-# sweep and the engine it drives).
+# sweep and the engine it drives), and the validation battery — invariant
+# checker, checker-neutrality, fork equivalence and the O1-O4
+# paper-fidelity checks at tiny scale.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,5 +16,6 @@ fi
 
 go vet ./...
 go test -race ./internal/experiment ./internal/sim
+go run ./cmd/dtnflow-validate
 
 echo "check.sh: all clean"
