@@ -264,3 +264,48 @@ func BenchmarkBandwidths(b *testing.B) {
 		}
 	}
 }
+
+// --- Scale tier: streaming generation + sharded engine ----------------
+
+// benchScale runs one scaled DART population through the scale path
+// (streaming generator feeding the sharded engine) and reports the tier's
+// headline figures — visit/event throughput and the sampled heap
+// high-water mark — as custom metrics. These run at -benchtime 1x
+// (scripts/bench.sh): one 32× run is minutes of wall clock, and the
+// figures of interest are per-run rates, not per-op latencies.
+func benchScale(b *testing.B, mult int) {
+	b.Helper()
+	spec := experiment.ScaleSpec{Scenario: "DART", Mult: mult}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := spec.RunSharded("DTN-FLOW", sim.ShardConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.VisitsPerSec, "visits/s")
+		b.ReportMetric(res.EventsPerSec, "events/s")
+		b.ReportMetric(float64(res.PeakHeap)/(1<<20), "peak-MiB")
+	}
+}
+
+func BenchmarkScaleDART1x(b *testing.B)  { benchScale(b, 1) }
+func BenchmarkScaleDART10x(b *testing.B) { benchScale(b, 10) }
+func BenchmarkScaleDART32x(b *testing.B) { benchScale(b, 32) }
+
+// BenchmarkScaleDART1xClassic is the materialized reference the scale
+// tier's memory acceptance compares against: the same 1× population on
+// the classic engine, whole trace held in memory.
+func BenchmarkScaleDART1xClassic(b *testing.B) {
+	spec := experiment.ScaleSpec{Scenario: "DART", Mult: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := spec.RunClassic("DTN-FLOW")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.VisitsPerSec, "visits/s")
+		b.ReportMetric(float64(res.PeakHeap)/(1<<20), "peak-MiB")
+	}
+}

@@ -1,0 +1,101 @@
+// Command dtnflow-scale runs one scaled scenario through the scale tier —
+// the streaming generator feeding the sharded engine — or, for A/B
+// comparison, through the classic materialize-and-heap path, and reports
+// the throughput and memory figures the tier exists to measure.
+//
+// The population multiplier scales nodes (and DART communities / DNET
+// routes) while keeping the landmark count fixed: the routing tables are
+// O(L²), so the scaling question the tier answers is "more devices over
+// the same infrastructure". Results are bit-identical across worker
+// counts and across the two engines.
+//
+// Usage:
+//
+//	dtnflow-scale                             # 1× DART, DTN-FLOW, sharded
+//	dtnflow-scale -mult 32                    # 10,240-node DART
+//	dtnflow-scale -scenario DNET -mult 10
+//	dtnflow-scale -engine classic -mult 1     # materialized A/B reference
+//	dtnflow-scale -workers 8 -epoch-days 0.5  # tuning knobs
+//	dtnflow-scale -json                       # machine-readable result
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		scenario  = flag.String("scenario", "DART", "scaled scenario: DART or DNET")
+		mult      = flag.Int("mult", 1, "population multiplier (landmarks stay fixed)")
+		method    = flag.String("method", "DTN-FLOW", "routing method")
+		engine    = flag.String("engine", "sharded", "simulation path: sharded or classic")
+		workers   = flag.Int("workers", 0, "shard/fill workers (0 = GOMAXPROCS)")
+		epochDays = flag.Float64("epoch-days", 1, "sharded merge epoch in days")
+		rate      = flag.Float64("rate", 0, "packets/day network-wide (0 = scenario default)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		asJSON    = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	spec := experiment.ScaleSpec{
+		Scenario: *scenario,
+		Mult:     *mult,
+		Rate:     *rate,
+		Seed:     *seed,
+		Stream:   synth.StreamConfig{Workers: *workers},
+	}
+
+	var (
+		res *experiment.ScaleResult
+		err error
+	)
+	switch *engine {
+	case "sharded":
+		sh := sim.ShardConfig{
+			Workers: *workers,
+			Epoch:   trace.Time(*epochDays * float64(trace.Day)),
+		}
+		res, err = spec.RunSharded(*method, sh)
+	case "classic":
+		res, err = spec.RunClassic(*method)
+	default:
+		err = fmt.Errorf("unknown engine %q (want sharded or classic)", *engine)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtnflow-scale:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "dtnflow-scale:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%s %d× (%s engine): %d nodes, %d landmarks, %d visits\n",
+		res.Scenario, res.Mult, res.Engine, res.Nodes, res.Landmarks, res.Visits)
+	fmt.Printf("  method      %s\n", res.Method)
+	fmt.Printf("  workers     %d\n", res.Workers)
+	fmt.Printf("  wall        %.2fs\n", res.WallSec)
+	fmt.Printf("  throughput  %.0f visits/s", res.VisitsPerSec)
+	if res.Events > 0 {
+		fmt.Printf("  (%d events, %.0f events/s)", res.Events, res.EventsPerSec)
+	}
+	fmt.Println()
+	fmt.Printf("  peak heap   %.1f MiB\n", float64(res.PeakHeap)/(1<<20))
+	fmt.Printf("  summary     success %.4f, delivered %d/%d, avg delay %.0fs, fwd %d\n",
+		res.Summary.SuccessRate, res.Summary.Delivered, res.Summary.Generated,
+		res.Summary.AvgDelay, res.Summary.Forwarding)
+}

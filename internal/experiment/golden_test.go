@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The golden-run corpus pins the end-to-end numeric behaviour of the whole
+// stack — generators, simulator, every router — as exact fixed-seed
+// metrics.Summary fingerprints. Summary is a comparable struct of ints and
+// float64s, and encoding/json round-trips float64 exactly, so the
+// comparison is == on every field: any change to a single random draw, a
+// tie-break, or an accounting rule shows up as a corpus diff that must be
+// regenerated deliberately (scripts/golden.sh) and reviewed, never
+// absorbed silently.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from the current build")
+
+func goldenPath(scenario string) string {
+	return filepath.Join("testdata", "golden", scenario+".json")
+}
+
+// goldenRuns computes the corpus entries for one Tiny scenario: every
+// method at the scenario's default rate, seed 1 — the same configuration
+// Run.Execute gives the paper experiments.
+func goldenRuns(sc *Scenario) map[string]metrics.Summary {
+	runs := make([]Run, len(MethodNames))
+	for i, m := range MethodNames {
+		runs[i] = Run{Scenario: sc, Router: routerFactory(m), Seed: 1}
+	}
+	sums := Parallel(runs, 0)
+	out := make(map[string]metrics.Summary, len(sums))
+	for i, m := range MethodNames {
+		out[m] = sums[i]
+	}
+	return out
+}
+
+// shardedGoldenRun replays one corpus entry through the sharded engine
+// over a chunked view of the scenario trace.
+func shardedGoldenRun(t *testing.T, sc *Scenario, method string) metrics.Summary {
+	t.Helper()
+	cfg := sc.Config(1)
+	s, err := sim.NewSharded(
+		func() trace.Source { return trace.NewSliceSource(sc.Trace, 512) },
+		NewRouter(method), sc.Workload(sc.RateDef), cfg,
+		sim.ShardConfig{Workers: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Run().Summary
+}
+
+// TestGoldenRuns compares every method × Tiny scenario against the checked
+// in corpus, on the classic engine and again on the sharded engine — the
+// corpus is engine-independent by construction, so the sharded replay
+// passes without regeneration.
+func TestGoldenRuns(t *testing.T) {
+	for _, sc := range BothScenarios(Tiny) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			got := goldenRuns(sc)
+			path := goldenPath(sc.Name)
+			if *updateGolden {
+				blob, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+				return
+			}
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with scripts/golden.sh)", err)
+			}
+			want := map[string]metrics.Summary{}
+			if err := json.Unmarshal(blob, &want); err != nil {
+				t.Fatal(err)
+			}
+			if len(want) != len(MethodNames) {
+				t.Fatalf("corpus has %d methods, want %d", len(want), len(MethodNames))
+			}
+			for _, m := range MethodNames {
+				if got[m] != want[m] {
+					t.Errorf("%s: classic run drifted from corpus:\ngot  %+v\nwant %+v", m, got[m], want[m])
+				}
+			}
+			for _, m := range MethodNames {
+				if sum := shardedGoldenRun(t, sc, m); sum != want[m] {
+					t.Errorf("%s: sharded run drifted from corpus:\ngot  %+v\nwant %+v", m, sum, want[m])
+				}
+			}
+		})
+	}
+}

@@ -78,6 +78,23 @@ func (r Run) Execute() metrics.Summary {
 	return eng.Run().Summary
 }
 
+// resolveWorkers resolves an Options.Workers value into the effective pool
+// size for n items, at call time: <= 0 means GOMAXPROCS as it is now — a
+// runtime.GOMAXPROCS change mid-process is honoured by the next sweep
+// rather than pinned at package init — and the pool never exceeds n.
+func resolveWorkers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // parallelFor runs fn(0..n-1) on a bounded worker pool. A panicking item
 // is recovered and recorded with its index and stack; the first panic is
 // re-thrown once after the pool has drained, so one bad item can neither
@@ -87,12 +104,7 @@ func parallelFor(n, workers int, fn func(i int)) {
 	if n == 0 {
 		return
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = resolveWorkers(n, workers)
 	var (
 		wg         sync.WaitGroup
 		once       sync.Once

@@ -1,0 +1,342 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Scale tier: populations 10–100× the paper's, run through the streaming
+// generators (synth.DARTSource/DNETSource) and the sharded engine
+// (sim.NewSharded) so peak memory stays bounded by one merge window of
+// visits instead of the whole trace. A ScaleSpec multiplies the node
+// population and its community/route structure while keeping the landmark
+// count fixed — the routing tables are O(L²) per landmark, so scaling
+// landmarks would change the algorithmic regime rather than the load; the
+// paper's scaling question is "more devices over the same infrastructure".
+
+// ScaleSpec describes one scaled scenario.
+type ScaleSpec struct {
+	// Scenario is "DART" or "DNET"; the Full-scale generator config is the
+	// 1× base.
+	Scenario string
+	// Mult multiplies the node population (and DART communities / DNET
+	// routes, the latter capped so every route keeps at least two stops);
+	// landmarks are never scaled. < 1 means 1.
+	Mult int
+	// Rate is the network-wide packet rate per day; <= 0 means the Full
+	// scenario default (500). The workload measures routing under the
+	// paper's load — scale runs measure engine throughput on mobility
+	// events, so the rate does not scale with Mult by default.
+	Rate float64
+	// Seed seeds the simulation (workload schedule); <= 0 means 1. The
+	// trace seed is the generator default, as in the Full scenarios.
+	Seed int64
+	// Stream tunes the generation side (fill workers, merge window).
+	Stream synth.StreamConfig
+}
+
+func (sp ScaleSpec) mult() int {
+	if sp.Mult < 1 {
+		return 1
+	}
+	return sp.Mult
+}
+
+func (sp ScaleSpec) seed() int64 {
+	if sp.Seed <= 0 {
+		return 1
+	}
+	return sp.Seed
+}
+
+func (sp ScaleSpec) rate() float64 {
+	if sp.Rate <= 0 {
+		return 500
+	}
+	return sp.Rate
+}
+
+// scaleParams are the per-scenario experiment settings, matching the Full
+// Scenario values (scenario.go) so a 1× scale run is the paper's regime.
+type scaleParams struct {
+	days   int
+	ttl    trace.Time
+	unit   trace.Time
+	memDiv int64
+}
+
+func (sp ScaleSpec) params() (scaleParams, error) {
+	switch sp.Scenario {
+	case "DART":
+		return scaleParams{days: synth.DefaultDART().Days, ttl: 20 * trace.Day, unit: 3 * trace.Day, memDiv: 120}, nil
+	case "DNET":
+		return scaleParams{days: synth.DefaultDNET().Days, ttl: 4 * trace.Day, unit: trace.Day / 2, memDiv: 60}, nil
+	default:
+		return scaleParams{}, fmt.Errorf("experiment: unknown scale scenario %q (want DART or DNET)", sp.Scenario)
+	}
+}
+
+func (sp ScaleSpec) dartConfig() synth.DARTConfig {
+	cfg := synth.DefaultDART()
+	cfg.Nodes *= sp.mult()
+	cfg.Communities *= sp.mult()
+	return cfg
+}
+
+func (sp ScaleSpec) dnetConfig() synth.DNETConfig {
+	cfg := synth.DefaultDNET()
+	cfg.Buses *= sp.mult()
+	// More buses per route is the natural scaling; the route count grows
+	// only while every route can still hold at least two stops.
+	r := cfg.Routes * sp.mult()
+	if max := cfg.Landmarks / 2; r > max {
+		r = max
+	}
+	if r < cfg.Routes {
+		r = cfg.Routes
+	}
+	cfg.Routes = r
+	return cfg
+}
+
+// Dims returns the scaled population without building anything.
+func (sp ScaleSpec) Dims() (nodes, landmarks int, err error) {
+	switch sp.Scenario {
+	case "DART":
+		cfg := sp.dartConfig()
+		return cfg.Nodes, cfg.Landmarks, nil
+	case "DNET":
+		cfg := sp.dnetConfig()
+		return cfg.Buses, cfg.Landmarks, nil
+	default:
+		_, err = sp.params()
+		return 0, 0, err
+	}
+}
+
+// Open returns a factory of fresh streaming sources over the scaled
+// scenario — the form sim.NewSharded consumes.
+func (sp ScaleSpec) Open() (func() trace.Source, error) {
+	switch sp.Scenario {
+	case "DART":
+		cfg := sp.dartConfig()
+		sc := sp.Stream
+		return func() trace.Source { return synth.DARTSource(cfg, sc) }, nil
+	case "DNET":
+		cfg := sp.dnetConfig()
+		sc := sp.Stream
+		return func() trace.Source { return synth.DNETSource(cfg, sc) }, nil
+	default:
+		_, err := sp.params()
+		return nil, err
+	}
+}
+
+// Config returns the simulator configuration shared by both engines. The
+// warmup boundary is analytic — a quarter of the generation horizon
+// (days × Day) — rather than a quarter of the materialized span, so the
+// streaming path needs no extra scan and both engines measure the same
+// window when given the same spec.
+func (sp ScaleSpec) Config() (sim.Config, error) {
+	p, err := sp.params()
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.DefaultConfig(trace.Time(p.days) * trace.Day)
+	cfg.Seed = sp.seed()
+	cfg.TTL = p.ttl
+	cfg.Unit = p.unit
+	cfg.NodeMemory = 2000 * 1024 / p.memDiv // the Full scenarios' Memory(2000)
+	if cfg.NodeMemory < 1024 {
+		cfg.NodeMemory = 1024
+	}
+	return cfg, nil
+}
+
+// Workload returns the scaled scenario's workload.
+func (sp ScaleSpec) Workload() (*sim.Workload, error) {
+	p, err := sp.params()
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewWorkload(sp.rate(), 1024, p.ttl), nil
+}
+
+// ScaleResult is one scale run's outcome: the routing summary plus the
+// engine-throughput and memory figures the scale tier exists to measure.
+type ScaleResult struct {
+	Engine    string `json:"engine"` // "sharded" or "classic"
+	Scenario  string `json:"scenario"`
+	Mult      int    `json:"mult"`
+	Method    string `json:"method"`
+	Workers   int    `json:"workers"`
+	Nodes     int    `json:"nodes"`
+	Landmarks int    `json:"landmarks"`
+	Visits    int    `json:"visits"`
+	// Events counts applied simulation events (sharded engine only; the
+	// classic engine does not count, so 0 there).
+	Events       int             `json:"events"`
+	WallSec      float64         `json:"wall_sec"`
+	VisitsPerSec float64         `json:"visits_per_sec"`
+	EventsPerSec float64         `json:"events_per_sec"`
+	PeakHeap     uint64          `json:"peak_heap_bytes"`
+	Summary      metrics.Summary `json:"summary"`
+}
+
+// heapWatermark samples runtime.ReadMemStats on a background ticker and
+// tracks the high-water HeapAlloc. Sampling needs no allocator
+// instrumentation and its 20 Hz cost is negligible next to a scale run;
+// the resolution is coarse, but the materialized-vs-streamed gap it exists
+// to show is orders of magnitude at 32×.
+type heapWatermark struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startHeapWatermark() *heapWatermark {
+	w := &heapWatermark{stop: make(chan struct{}), done: make(chan struct{})}
+	runtime.GC() // drop the previous run's garbage from the baseline
+	w.sample()
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				w.sample()
+				return
+			case <-t.C:
+				w.sample()
+			}
+		}
+	}()
+	return w
+}
+
+func (w *heapWatermark) sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc > w.peak {
+		w.peak = m.HeapAlloc
+	}
+}
+
+// halt stops the sampler and returns the observed peak.
+func (w *heapWatermark) halt() uint64 {
+	close(w.stop)
+	<-w.done
+	return w.peak
+}
+
+// RunSharded executes the spec on the streaming + sharded scale path.
+func (sp ScaleSpec) RunSharded(method string, sh sim.ShardConfig) (*ScaleResult, error) {
+	open, err := sp.Open()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := sp.Config()
+	if err != nil {
+		return nil, err
+	}
+	wl, err := sp.Workload()
+	if err != nil {
+		return nil, err
+	}
+	nodes, lms, _ := sp.Dims()
+
+	wm := startHeapWatermark()
+	t0 := time.Now()
+	s, err := sim.NewSharded(open, NewRouter(method), wl, cfg, sh)
+	if err != nil {
+		wm.halt()
+		return nil, err
+	}
+	res := s.Run()
+	wall := time.Since(t0)
+	peak := wm.halt()
+	st := s.Stats()
+	return sp.result("sharded", method, st.Workers, nodes, lms, st.Visits, st.Events, wall, peak, res.Summary), nil
+}
+
+// RunClassic materializes the same stream and executes the spec on the
+// classic engine — the A/B reference for correctness and for the memory
+// figures. The materialization happens inside the measured window: holding
+// the whole trace is exactly the cost the scale path avoids.
+func (sp ScaleSpec) RunClassic(method string) (*ScaleResult, error) {
+	open, err := sp.Open()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := sp.Config()
+	if err != nil {
+		return nil, err
+	}
+	wl, err := sp.Workload()
+	if err != nil {
+		return nil, err
+	}
+	nodes, lms, _ := sp.Dims()
+
+	wm := startHeapWatermark()
+	t0 := time.Now()
+	tr, err := trace.Materialize(open())
+	if err != nil {
+		wm.halt()
+		return nil, err
+	}
+	res := sim.New(tr, NewRouter(method), wl, cfg).Run()
+	wall := time.Since(t0)
+	peak := wm.halt()
+	return sp.result("classic", method, 1, nodes, lms, len(tr.Visits), 0, wall, peak, res.Summary), nil
+}
+
+// ScaleSweep runs a method across population multipliers on the scale
+// path, returning one result per multiplier in input order. Runs are
+// sequential on purpose: each is internally parallel, and the tier's
+// memory bound is per run — concurrent 32× populations would stack their
+// windows. For seed sweeps at paper scale use Sweep and the fork tier
+// instead; the scale tier trades forkability for bounded memory.
+func ScaleSweep(spec ScaleSpec, method string, mults []int, sh sim.ShardConfig) ([]*ScaleResult, error) {
+	out := make([]*ScaleResult, 0, len(mults))
+	for _, m := range mults {
+		sp := spec
+		sp.Mult = m
+		res, err := sp.RunSharded(method, sh)
+		if err != nil {
+			return out, fmt.Errorf("experiment: scale sweep %s %d×: %w", sp.Scenario, m, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func (sp ScaleSpec) result(engine, method string, workers, nodes, lms, visits, events int,
+	wall time.Duration, peak uint64, sum metrics.Summary) *ScaleResult {
+	r := &ScaleResult{
+		Engine:    engine,
+		Scenario:  sp.Scenario,
+		Mult:      sp.mult(),
+		Method:    method,
+		Workers:   workers,
+		Nodes:     nodes,
+		Landmarks: lms,
+		Visits:    visits,
+		Events:    events,
+		WallSec:   wall.Seconds(),
+		PeakHeap:  peak,
+		Summary:   sum,
+	}
+	if s := wall.Seconds(); s > 0 {
+		r.VisitsPerSec = float64(visits) / s
+		r.EventsPerSec = float64(events) / s
+	}
+	return r
+}

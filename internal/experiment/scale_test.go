@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestScaleDims pins the scaling contract: nodes multiply, landmarks never
+// do, and the DNET route count stays below the stop count.
+func TestScaleDims(t *testing.T) {
+	base := synth.DefaultDART()
+	for _, mult := range []int{1, 4, 32} {
+		n, l, err := ScaleSpec{Scenario: "DART", Mult: mult}.Dims()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != base.Nodes*mult {
+			t.Errorf("DART %d×: %d nodes, want %d", mult, n, base.Nodes*mult)
+		}
+		if l != base.Landmarks {
+			t.Errorf("DART %d×: %d landmarks, want %d (landmarks never scale)", mult, l, base.Landmarks)
+		}
+	}
+	if n, _, _ := (ScaleSpec{Scenario: "DART", Mult: 32}).Dims(); n != 10240 {
+		t.Errorf("32× DART = %d nodes, want 10240", n)
+	}
+
+	dn := synth.DefaultDNET()
+	for _, mult := range []int{1, 8, 32} {
+		spec := ScaleSpec{Scenario: "DNET", Mult: mult}
+		n, l, err := spec.Dims()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != dn.Buses*mult || l != dn.Landmarks {
+			t.Errorf("DNET %d×: dims (%d,%d), want (%d,%d)", mult, n, l, dn.Buses*mult, dn.Landmarks)
+		}
+		if r := spec.dnetConfig().Routes; r > dn.Landmarks/2 {
+			t.Errorf("DNET %d×: %d routes exceeds %d stops/2 — empty routes", mult, r, dn.Landmarks)
+		}
+	}
+
+	if _, _, err := (ScaleSpec{Scenario: "CAMPUS"}).Dims(); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := (ScaleSpec{Scenario: "CAMPUS"}).Open(); err == nil {
+		t.Error("Open accepted unknown scenario")
+	}
+}
+
+// TestScaleShardedMatchesClassicDNET is the scale tier's end-to-end A/B:
+// the streaming + sharded path reproduces the classic materialize-and-heap
+// path bit for bit, through the real routers.
+func TestScaleShardedMatchesClassicDNET(t *testing.T) {
+	spec := ScaleSpec{Scenario: "DNET", Mult: 1}
+	for _, method := range []string{"DTN-FLOW", "PROPHET"} {
+		classic, err := spec.RunClassic(method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := spec.RunSharded(method, sim.ShardConfig{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sharded.Summary != classic.Summary {
+			t.Errorf("%s: summaries differ:\nsharded %+v\nclassic %+v", method, sharded.Summary, classic.Summary)
+		}
+		if sharded.Visits != classic.Visits {
+			t.Errorf("%s: sharded saw %d visits, classic %d", method, sharded.Visits, classic.Visits)
+		}
+		if sharded.Events <= sharded.Visits {
+			t.Errorf("%s: implausible event count %d for %d visits", method, sharded.Events, sharded.Visits)
+		}
+		if sharded.PeakHeap == 0 || classic.PeakHeap == 0 || sharded.WallSec <= 0 {
+			t.Errorf("%s: missing measurements: %+v", method, sharded)
+		}
+	}
+}
+
+// TestScaleShardedMatchesClassicDART covers the DART family at 1× — the
+// full paper population — so it only runs in long mode.
+func TestScaleShardedMatchesClassicDART(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-population DART A/B; run without -short")
+	}
+	spec := ScaleSpec{Scenario: "DART", Mult: 1}
+	classic, err := spec.RunClassic("DTN-FLOW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := spec.RunSharded("DTN-FLOW", sim.ShardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Summary != classic.Summary {
+		t.Errorf("summaries differ:\nsharded %+v\nclassic %+v", sharded.Summary, classic.Summary)
+	}
+	if sharded.Visits != classic.Visits {
+		t.Errorf("sharded saw %d visits, classic %d", sharded.Visits, classic.Visits)
+	}
+}
+
+// TestScaleSweep checks the multiplier sweep scales the population and
+// keeps per-multiplier results ordered and labelled.
+func TestScaleSweep(t *testing.T) {
+	results, err := ScaleSweep(ScaleSpec{Scenario: "DNET"}, "PGR", []int{1, 2}, sim.ShardConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+	base := synth.DefaultDNET().Buses
+	for i, mult := range []int{1, 2} {
+		r := results[i]
+		if r.Mult != mult || r.Nodes != base*mult {
+			t.Errorf("result %d: mult=%d nodes=%d, want mult=%d nodes=%d", i, r.Mult, r.Nodes, mult, base*mult)
+		}
+		if r.Summary.Generated == 0 || r.Visits == 0 {
+			t.Errorf("result %d: empty run %+v", i, r)
+		}
+	}
+	if results[1].Visits <= results[0].Visits {
+		t.Errorf("2× visits (%d) not above 1× (%d)", results[1].Visits, results[0].Visits)
+	}
+	if _, err := ScaleSweep(ScaleSpec{Scenario: "NOPE"}, "PGR", []int{1}, sim.ShardConfig{}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestScaleConfigAnalyticWarmup checks the shared config is derived from
+// the generation horizon, not a materialized span.
+func TestScaleConfigAnalyticWarmup(t *testing.T) {
+	cfg, err := ScaleSpec{Scenario: "DART"}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := synth.DefaultDART().Days
+	if want := trace.Time(days) * trace.Day / 4; cfg.Warmup != want {
+		t.Errorf("Warmup = %d, want %d", cfg.Warmup, want)
+	}
+	if cfg.NodeMemory != 2000*1024/120 {
+		t.Errorf("NodeMemory = %d, want the Full DART scenario's %d", cfg.NodeMemory, 2000*1024/120)
+	}
+}

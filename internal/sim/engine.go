@@ -309,10 +309,11 @@ type Engine struct {
 	expireScratch []*Packet
 }
 
-// New assembles an engine for one run. The trace must be preprocessed
-// (sorted, validated).
-func New(tr *trace.Trace, r Router, w *Workload, cfg Config) *Engine {
-	start, end := tr.Span()
+// newEngineCore assembles the per-run state shared by the classic and
+// sharded constructors: context, node and station populations, presence
+// sets and the measurement boundary. Event seeding is the caller's job —
+// New fills the global heap, NewSharded streams epochs through cursors.
+func newEngineCore(tr *trace.Trace, r Router, w *Workload, cfg Config, start, end trace.Time) *Engine {
 	e := &Engine{
 		router:   r,
 		workload: w,
@@ -337,6 +338,14 @@ func New(tr *trace.Trace, r Router, w *Workload, cfg Config) *Engine {
 	e.ctx = ctx
 	e.present = make([][]*Node, tr.NumLandmarks)
 	e.measureFrom = start + cfg.Warmup
+	return e
+}
+
+// New assembles an engine for one run. The trace must be preprocessed
+// (sorted, validated).
+func New(tr *trace.Trace, r Router, w *Workload, cfg Config) *Engine {
+	start, end := tr.Span()
+	e := newEngineCore(tr, r, w, cfg, start, end)
 	// Seed the event heap. The exact capacity for the trace- and
 	// unit-driven events is known up front; packet generations grow it once
 	// more below.
@@ -355,7 +364,7 @@ func New(tr *trace.Trace, r Router, w *Workload, cfg Config) *Engine {
 		}
 	}
 	if w != nil {
-		pkts := w.Schedule(ctx.Rand, e.measureFrom, end, tr.NumLandmarks)
+		pkts := w.Schedule(e.ctx.Rand, e.measureFrom, end, tr.NumLandmarks)
 		e.events.grow(len(pkts))
 		for _, pkt := range pkts {
 			e.push(event{t: pkt.Created, kind: evGenerate, pkt: pkt})
@@ -426,70 +435,78 @@ func (e *Engine) runEvents(until trace.Time) {
 		}
 		ev := e.events.pop()
 		e.now = ev.t
-		switch ev.kind {
-		case evArrive:
-			v := ev.visit
-			n := e.ctx.Nodes[v.Node]
-			n.At = v.Landmark
-			n.VisitStart = v.Start
-			n.VisitEnd = v.End
-			e.addPresent(v.Landmark, n)
-			dur := v.End - v.Start
-			budget := int(e.ctx.Cfg.LinkRate * float64(dur))
-			if budget < 1 {
-				budget = 1
-			}
-			if e.ctx.Cfg.MaxContactTransfers > 0 && budget > e.ctx.Cfg.MaxContactTransfers {
-				budget = e.ctx.Cfg.MaxContactTransfers
-			}
-			c := &Contact{Node: n, Landmark: v.Landmark, Start: v.Start, End: v.End, Budget: budget}
-			e.ctx.ExpireBuffers(n, e.ctx.Stations[v.Landmark])
-			e.router.OnContact(e.ctx, c)
-		case evDepart:
-			v := ev.visit
-			n := e.ctx.Nodes[v.Node]
-			e.removePresent(v.Landmark, v.Node)
-			e.router.OnDepart(e.ctx, n, v.Landmark)
-			if n.At == v.Landmark {
-				n.At = -1
-				n.Prev = v.Landmark
-				n.PrevDepart = v.End
-			}
-		case evGenerate:
-			p := ev.pkt
-			if p.Created >= e.measureFrom {
-				e.ctx.Metrics.PacketGenerated()
-			}
-			e.ctx.Probe.Generated(e.now, p.ID, p.Src, p.Dst)
-			if ck := e.ctx.Check; ck != nil {
-				ck.Generated(e.now, p)
-			}
-			if p.Src == p.Dst && p.DstNode < 0 {
-				e.ctx.deliverPacket(p, p.Src)
-				continue
-			}
-			st := e.ctx.Stations[p.Src]
-			if !st.Buffer.Add(p) {
-				e.ctx.dropPacket(p, metrics.DropNoRoom)
-				continue
-			}
-			e.ctx.Probe.Queued(e.now, p.ID, p.Src, st.Buffer.Len())
-			p.Path = append(p.Path, p.Src)
-			e.router.OnGenerate(e.ctx, p)
-		case evUnit:
-			if prb := e.ctx.Probe; prb.Enabled() {
-				for lm, st := range e.ctx.Stations {
-					prb.QueueDepth(e.now, lm, st.Buffer.Len())
-				}
-			}
-			e.nextUnit = ev.unit + 1
-			e.router.OnTimeUnit(e.ctx, ev.unit)
-			if ck := e.ctx.Check; ck != nil {
-				ck.Scan(e.now, e.ctx)
-			}
-		case evTimer:
-			ev.fn()
+		e.apply(ev)
+	}
+}
+
+// apply executes one event. The caller has already advanced e.now to the
+// event's timestamp; the sharded engine calls apply directly from its
+// epoch-merge loop, so every state transition — presence sets, router
+// callbacks, packet accounting — lives here and nowhere else.
+func (e *Engine) apply(ev event) {
+	switch ev.kind {
+	case evArrive:
+		v := ev.visit
+		n := e.ctx.Nodes[v.Node]
+		n.At = v.Landmark
+		n.VisitStart = v.Start
+		n.VisitEnd = v.End
+		e.addPresent(v.Landmark, n)
+		dur := v.End - v.Start
+		budget := int(e.ctx.Cfg.LinkRate * float64(dur))
+		if budget < 1 {
+			budget = 1
 		}
+		if e.ctx.Cfg.MaxContactTransfers > 0 && budget > e.ctx.Cfg.MaxContactTransfers {
+			budget = e.ctx.Cfg.MaxContactTransfers
+		}
+		c := &Contact{Node: n, Landmark: v.Landmark, Start: v.Start, End: v.End, Budget: budget}
+		e.ctx.ExpireBuffers(n, e.ctx.Stations[v.Landmark])
+		e.router.OnContact(e.ctx, c)
+	case evDepart:
+		v := ev.visit
+		n := e.ctx.Nodes[v.Node]
+		e.removePresent(v.Landmark, v.Node)
+		e.router.OnDepart(e.ctx, n, v.Landmark)
+		if n.At == v.Landmark {
+			n.At = -1
+			n.Prev = v.Landmark
+			n.PrevDepart = v.End
+		}
+	case evGenerate:
+		p := ev.pkt
+		if p.Created >= e.measureFrom {
+			e.ctx.Metrics.PacketGenerated()
+		}
+		e.ctx.Probe.Generated(e.now, p.ID, p.Src, p.Dst)
+		if ck := e.ctx.Check; ck != nil {
+			ck.Generated(e.now, p)
+		}
+		if p.Src == p.Dst && p.DstNode < 0 {
+			e.ctx.deliverPacket(p, p.Src)
+			return
+		}
+		st := e.ctx.Stations[p.Src]
+		if !st.Buffer.Add(p) {
+			e.ctx.dropPacket(p, metrics.DropNoRoom)
+			return
+		}
+		e.ctx.Probe.Queued(e.now, p.ID, p.Src, st.Buffer.Len())
+		p.Path = append(p.Path, p.Src)
+		e.router.OnGenerate(e.ctx, p)
+	case evUnit:
+		if prb := e.ctx.Probe; prb.Enabled() {
+			for lm, st := range e.ctx.Stations {
+				prb.QueueDepth(e.now, lm, st.Buffer.Len())
+			}
+		}
+		e.nextUnit = ev.unit + 1
+		e.router.OnTimeUnit(e.ctx, ev.unit)
+		if ck := e.ctx.Check; ck != nil {
+			ck.Scan(e.now, e.ctx)
+		}
+	case evTimer:
+		ev.fn()
 	}
 }
 
@@ -503,6 +520,12 @@ func (e *Engine) Run() *Result {
 		e.router.Init(e.ctx)
 	}
 	e.runEvents(maxTime)
+	return e.finish()
+}
+
+// finish closes out a run after the last event: final invariant scan,
+// end-of-run drain, and result assembly. Shared by Run and Sharded.Run.
+func (e *Engine) finish() *Result {
 	// The final scan runs before the end-of-run drain: draining flags
 	// packets terminal while leaving the buffers untouched, which would
 	// trip the "no terminal packet in a buffer" invariant by design.

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// shardedRun builds and runs a sharded engine over tr via a SliceSource,
+// returning the result and the router's callback log.
+func shardedRun(t *testing.T, tr *trace.Trace, w *Workload, cfg Config, sh ShardConfig) (*Result, []string) {
+	t.Helper()
+	r := &recordingRouter{}
+	s, err := NewSharded(func() trace.Source { return trace.NewSliceSource(tr, 64) }, r, w, cfg, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Run(), r.events
+}
+
+// TestShardedMatchesClassic pins the bit-identical contract at the engine
+// level: the sharded path over a SliceSource replays the exact callback
+// sequence and produces the exact summary of the classic heap engine, for
+// every worker count and epoch size.
+func TestShardedMatchesClassic(t *testing.T) {
+	tr := twoHopTrace(30)
+	cfg := Config{Seed: 7, PacketSize: 1, NodeMemory: 100, TTL: 2000, Unit: 1000, LinkRate: 5}
+	mkWorkload := func() *Workload { return NewWorkload(3000, 1, 2000) }
+
+	ref := &recordingRouter{}
+	classic := New(tr, ref, mkWorkload(), cfg).Run()
+
+	for _, sh := range []ShardConfig{
+		{Workers: 1},
+		{Workers: 2, Epoch: 500},
+		{Workers: 8, Epoch: 100},
+		{Workers: runtime.NumCPU(), Epoch: 1 << 40},
+	} {
+		res, events := shardedRun(t, tr, mkWorkload(), cfg, sh)
+		if !reflect.DeepEqual(res.Summary, classic.Summary) {
+			t.Errorf("%+v: summary differs:\nsharded %+v\nclassic %+v", sh, res.Summary, classic.Summary)
+		}
+		if !reflect.DeepEqual(events, ref.events) {
+			t.Errorf("%+v: callback sequence differs (%d vs %d events)", sh, len(events), len(ref.events))
+		}
+		if res.Duration != classic.Duration {
+			t.Errorf("%+v: duration %d vs %d", sh, res.Duration, classic.Duration)
+		}
+	}
+}
+
+// TestShardedTimers checks router-scheduled timers fire at the same times
+// through the epoch merge as through the classic heap, including timers
+// scheduled across epoch boundaries.
+func TestShardedTimers(t *testing.T) {
+	tr := twoHopTrace(12) // spans 2400 time units
+	cfg := Config{Seed: 1, PacketSize: 1, NodeMemory: 10, TTL: 5000, Unit: 1 << 40, LinkRate: 1}
+	run := func(build func(r Router) interface{ Run() *Result }) []trace.Time {
+		fired := []trace.Time{}
+		r := &hookRouter{onContact: func(ctx *Context, c *Contact) {
+			// Re-arm on the first contact of each landmark-0 visit: one
+			// timer inside the current epoch, one far beyond it.
+			if c.Landmark == 0 && c.Start < 1000 {
+				ctx.Schedule(c.Start+37, func() { fired = append(fired, ctx.Now()) })
+				ctx.Schedule(c.Start+1500, func() { fired = append(fired, ctx.Now()) })
+			}
+		}}
+		build(r).Run()
+		return fired
+	}
+	classic := run(func(r Router) interface{ Run() *Result } {
+		return New(tr, r, nil, cfg)
+	})
+	sharded := run(func(r Router) interface{ Run() *Result } {
+		s, err := NewSharded(func() trace.Source { return trace.NewSliceSource(tr, 3) }, r, nil, cfg,
+			ShardConfig{Workers: 3, Epoch: 250})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	if len(classic) == 0 {
+		t.Fatal("no timers fired in the classic engine")
+	}
+	if !reflect.DeepEqual(sharded, classic) {
+		t.Errorf("timer fire times differ: sharded %v, classic %v", sharded, classic)
+	}
+}
+
+// TestShardedOnStream runs the sharded engine over the streaming DART
+// generator — the scale-tier composition — and checks every worker count
+// yields the summary of a classic engine over the materialized stream.
+// This is the determinism-under-concurrency gate: workers ∈ {1, 2, 8,
+// NumCPU} on both the generation and simulation sides.
+func TestShardedOnStream(t *testing.T) {
+	gen := synth.DefaultDART()
+	gen.Nodes = 32
+	gen.Landmarks = 16
+	gen.Days = 14
+	gen.Communities = 4
+
+	mat, err := trace.Materialize(synth.DARTSource(gen, synth.StreamConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(mat.Duration())
+	cfg.Unit = trace.Day
+	mkWorkload := func() *Workload { return NewWorkload(200, cfg.PacketSize, cfg.TTL) }
+
+	ref := New(mat, &recordingRouter{}, mkWorkload(), cfg).Run()
+
+	for _, workers := range []int{1, 2, 8, runtime.NumCPU()} {
+		open := func() trace.Source {
+			return synth.DARTSource(gen, synth.StreamConfig{Workers: workers})
+		}
+		s, err := NewSharded(open, &recordingRouter{}, mkWorkload(), cfg,
+			ShardConfig{Workers: workers, Epoch: trace.Day})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run()
+		if !reflect.DeepEqual(res.Summary, ref.Summary) {
+			t.Errorf("workers=%d: summary differs:\nsharded %+v\nclassic %+v", workers, res.Summary, ref.Summary)
+		}
+		st := s.Stats()
+		if st.Visits != len(mat.Visits) {
+			t.Errorf("workers=%d: ingested %d visits, trace has %d", workers, st.Visits, len(mat.Visits))
+		}
+		if st.Workers != workers || st.Epochs == 0 || st.Events == 0 {
+			t.Errorf("workers=%d: implausible stats %+v", workers, st)
+		}
+	}
+}
+
+// TestShardedHeaderTrace documents the header-only contract: the sharded
+// context's trace carries dimensions and positions but no visit slice.
+func TestShardedHeaderTrace(t *testing.T) {
+	tr := twoHopTrace(6)
+	s, err := NewSharded(func() trace.Source { return trace.NewSliceSource(tr, 2) },
+		&recordingRouter{}, nil, Config{Seed: 1, PacketSize: 1, NodeMemory: 10, TTL: 100, LinkRate: 1},
+		ShardConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := s.Context()
+	if len(ctx.Trace.Visits) != 0 {
+		t.Errorf("sharded context trace materialized %d visits", len(ctx.Trace.Visits))
+	}
+	if ctx.Trace.NumNodes != tr.NumNodes || ctx.Trace.NumLandmarks != tr.NumLandmarks {
+		t.Errorf("header dims = (%d,%d), want (%d,%d)",
+			ctx.Trace.NumNodes, ctx.Trace.NumLandmarks, tr.NumNodes, tr.NumLandmarks)
+	}
+	s.Run()
+}
+
+// TestShardedRejectsBadStream checks the ingest-side order guard.
+func TestShardedRejectsBadStream(t *testing.T) {
+	bad := &trace.Trace{Name: "bad", NumNodes: 2, NumLandmarks: 2, Visits: []trace.Visit{
+		{Node: 0, Landmark: 0, Start: 100, End: 200},
+		{Node: 0, Landmark: 1, Start: 50, End: 80}, // out of order: never sorted
+	}}
+	s, err := NewSharded(func() trace.Source { return trace.NewSliceSource(bad, 1) },
+		&recordingRouter{}, nil, Config{Seed: 1, PacketSize: 1, NodeMemory: 10, TTL: 100, LinkRate: 1},
+		ShardConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("sharded engine accepted an out-of-order stream")
+		}
+	}()
+	s.Run()
+}

@@ -57,106 +57,27 @@ func DefaultDART() DARTConfig {
 // occasional "exploration" jumps produce the long tail of casual visitors
 // (O1). Nights are spent at the dorm; weekends and two holiday windows
 // suppress movement (Fig. 4(a)).
+// The generator is a thin adapter over the shared topology prologue and the
+// resumable per-student walkers in walker.go, driven node by node with one
+// shared RNG; DARTSource (stream.go) reuses the same walkers to stream the
+// scaled-up scenarios without materializing. Every routine place pick,
+// cycle shuffle and dwell draw happens inside the walker — this loop only
+// sequences them.
 func DART(cfg DARTConfig) *trace.Trace {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	pos := scatterPoints(rng, cfg.Landmarks, cfg.CampusWidth, cfg.CampusHeight, 60)
-	holidays := defaultHolidays()
-
-	nC := cfg.Communities
-	dorm := func(c int) int { return c % cfg.Landmarks }
-	dept := func(c int) int { return (nC + c) % cfg.Landmarks }
-	numDining := nC/2 + 1
-	dine := func(c int) int { return (2*nC + c/2) % cfg.Landmarks }
-	numHubs := nC/4 + 1
-	hub := func(c int) int { return (2*nC + numDining + c/4) % cfg.Landmarks }
-	// Every remaining landmark (labs, gyms, lecture halls, …) is the
-	// personal regular place of a handful of students, assigned
-	// round-robin — so each subarea has its own small set of frequent
-	// visitors, matching observation O1 for *all* landmarks.
-	poolStart := 2*nC + numDining + numHubs
-	poolLen := cfg.Landmarks - poolStart
-	if poolLen < 0 {
-		poolStart, poolLen = 0, cfg.Landmarks
-	}
-
+	tp := newDARTTopo(cfg, rng)
 	var visits []trace.Visit
-	end := trace.Time(cfg.Days) * trace.Day
 	for n := 0; n < cfg.Nodes; n++ {
-		c := n % nC
-		home := dorm(c)
-		// The routine cycle: dorm first, then dept/dining/hub plus one or
-		// two personal regular places, in a per-student order.
-		mid := []int{dept(c), dine(c), hub(c)}
-		if poolLen > 0 {
-			mid = append(mid, poolStart+(2*n)%poolLen)
-			if rng.Float64() < 0.5 {
-				mid = append(mid, poolStart+(2*n+1)%poolLen)
-			}
-		}
-		rng.Shuffle(len(mid), func(i, j int) { mid[i], mid[j] = mid[j], mid[i] })
-		cycle := append([]int{home}, mid...)
-		cycle = dedupeCycle(cycle)
-		// Exploration targets: the routine plus a couple of random places.
-		extras := append([]int(nil), cycle...)
-		for e := 0; e < 2+rng.Intn(3); e++ {
-			extras = append(extras, rng.Intn(cfg.Landmarks))
-		}
-		rt := &routine{cycle: cycle}
-
-		t := trace.Time(rng.Intn(int(2 * trace.Hour)))
-		cur := home
-		for t < end {
-			day := dayOf(t)
-			active := 1.0
-			if isWeekend(day) {
-				active = 0.55
-			}
-			for _, h := range holidays {
-				if day >= h[0] && day <= h[1] {
-					active = 0.12
-				}
-			}
-			sod := secondOfDay(t)
-			var dwell trace.Time
-			switch {
-			case sod < 8*trace.Hour || sod > 22*trace.Hour:
-				// Night: stay home until ~8am (go home if elsewhere).
-				// Occasionally the student stays in the whole next day —
-				// the dead-end situation of Section IV-E.1.
-				if cur != home {
-					cur = home
-					rt.pos = 0
-				}
-				morning := trace.Time(dayOf(t))*trace.Day + 8*trace.Hour
-				if sod > 22*trace.Hour {
-					morning += trace.Day
-				}
-				if rng.Float64() < cfg.IdleDayProb {
-					morning += 2 * trace.Day
-				}
-				dwell = morning - t + trace.Time(rng.Intn(int(trace.Hour)))
-			case rng.Float64() > active:
-				// Inactive period (weekend/holiday): long dwell in place.
-				dwell = clampTime(trace.Time(logNormal(rng, float64(5*trace.Hour), 0.5)), trace.Hour, 14*trace.Hour)
-			default:
-				dwell = clampTime(trace.Time(logNormal(rng, float64(75*trace.Minute), 0.6)), 10*trace.Minute, 5*trace.Hour)
-			}
-			vEnd := t + dwell
-			if vEnd > end {
-				vEnd = end
-			}
-			if rng.Float64() >= cfg.MissProb {
-				visits = append(visits, trace.Visit{Node: n, Landmark: cur, Start: t, End: vEnd})
-			}
-			if vEnd >= end {
+		w := newDARTWalker(tp, n, rng)
+		for {
+			var done bool
+			visits, done = w.step(rng, visits)
+			if done {
 				break
 			}
-			next := rt.next(rng, cfg.FollowProb, extras, cur)
-			t = vEnd + travelTime(rng, pos[cur], pos[next], 1.4)
-			cur = next
 		}
 	}
-	return buildTrace("DART", cfg.Nodes, pos, visits)
+	return buildTrace("DART", cfg.Nodes, tp.pos, visits)
 }
 
 // dedupeCycle removes consecutive duplicates (including across the wrap)

@@ -3,7 +3,6 @@ package synth
 import (
 	"math/rand"
 
-	"repro/internal/geo"
 	"repro/internal/trace"
 )
 
@@ -45,128 +44,23 @@ func DefaultDNET() DNETConfig {
 // after a transit — reproduces the paper's finding that bus prediction
 // accuracy is lower than student prediction accuracy despite more
 // repetitive movement (Section IV-B.3).
+// The generator is a thin adapter over the shared topology prologue and the
+// resumable per-bus walkers in walker.go, driven bus by bus with one shared
+// RNG; DNETSource (stream.go) reuses the same walkers to stream the
+// scaled-up scenarios without materializing.
 func DNET(cfg DNETConfig) *trace.Trace {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	pos := scatterPoints(rng, cfg.Landmarks, cfg.TownSize, cfg.TownSize, 800)
-
-	// Precompute each landmark's nearest neighbour for association noise.
-	nearest := make([]int, cfg.Landmarks)
-	for i := range nearest {
-		best, bestD := i, 1e18
-		for j := range pos {
-			if j == i {
-				continue
-			}
-			if d := geo.Dist(pos[i], pos[j]); d < bestD {
-				best, bestD = j, d
-			}
-		}
-		nearest[i] = best
-	}
-
-	// Route templates: cyclic stop sequences built by dealing the shuffled
-	// stop list across routes — every stop is on at least one route — plus
-	// one or two shared transfer stops per route, so routes overlap and
-	// flow concentrates on few links (O2).
-	perm := rng.Perm(cfg.Landmarks)
-	routes := make([][]int, cfg.Routes)
-	for i, s := range perm {
-		routes[i%cfg.Routes] = append(routes[i%cfg.Routes], s)
-	}
-	for r := range routes {
-		for e := 0; e < 1+rng.Intn(2); e++ {
-			s := rng.Intn(cfg.Landmarks)
-			dup := false
-			for _, x := range routes[r] {
-				if x == s {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				at := rng.Intn(len(routes[r]) + 1)
-				routes[r] = append(routes[r][:at], append([]int{s}, routes[r][at:]...)...)
-			}
-		}
-	}
-
+	tp := newDNETTopo(cfg, rng)
 	var visits []trace.Visit
-	end := trace.Time(cfg.Days) * trace.Day
 	for b := 0; b < cfg.Buses; b++ {
-		// Half the buses of each route run it in the opposite direction,
-		// so matching transit links carry balanced flow (observation O3)
-		// while each individual bus keeps a deterministic order-1 routine.
-		cyc := routes[b%cfg.Routes]
-		if (b/cfg.Routes)%2 == 1 {
-			rev := make([]int, len(cyc))
-			for i, s := range cyc {
-				rev[len(cyc)-1-i] = s
-			}
-			cyc = rev
-		}
-		rt := &routine{cycle: cyc}
-		cur := rt.cycle[0]
-		t := trace.Time(6*trace.Hour) + trace.Time(rng.Intn(int(30*trace.Minute)))
-		for t < end {
-			sod := secondOfDay(t)
-			if sod < 6*trace.Hour || sod > 22*trace.Hour {
-				// Overnight at the depot (first stop of the route); the
-				// depot visit is logged like any AP association.
-				depot := rt.cycle[0]
-				morning := trace.Time(dayOf(t))*trace.Day + 6*trace.Hour
-				if sod > 22*trace.Hour {
-					morning += trace.Day
-				}
-				vEnd := morning + trace.Time(rng.Intn(int(20*trace.Minute)))
-				if vEnd > end {
-					vEnd = end
-				}
-				visits = append(visits, trace.Visit{Node: b, Landmark: depot, Start: t, End: vEnd})
-				t = vEnd
-				cur = depot
-				rt.pos = 0
-				if t >= end {
-					break
-				}
-				continue
-			}
-			dwell := clampTime(trace.Time(logNormal(rng, float64(5*trace.Minute), 0.4)), 2*trace.Minute, 20*trace.Minute)
-			vEnd := t + dwell
-			if vEnd > end {
-				vEnd = end
-			}
-			logged := cur
-			if rng.Float64() < cfg.NoiseProb {
-				logged = nearest[cur]
-			}
-			if rng.Float64() >= cfg.MissProb {
-				visits = append(visits, trace.Visit{Node: b, Landmark: logged, Start: t, End: vEnd})
-			}
-			if vEnd >= end {
+		w := newDNETWalker(tp, b, rng)
+		for {
+			var done bool
+			visits, done = w.step(rng, visits)
+			if done {
 				break
 			}
-			if rng.Float64() < cfg.GarageProb {
-				// Unexpected maintenance: the bus drives to the depot and
-				// stays out of service until the morning after next — the
-				// abrupt dead end of Section IV-E.1.
-				depot := rt.cycle[0]
-				back := trace.Time(dayOf(vEnd)+2)*trace.Day + 6*trace.Hour
-				if back > end {
-					back = end
-				}
-				travel := travelTime(rng, pos[cur], pos[depot], 7.0)
-				if vEnd+travel < back {
-					visits = append(visits, trace.Visit{Node: b, Landmark: depot, Start: vEnd + travel, End: back})
-				}
-				t = back
-				cur = depot
-				rt.pos = 0
-				continue
-			}
-			next := rt.next(rng, 0.97, nil, cur)
-			t = vEnd + travelTime(rng, pos[cur], pos[next], 7.0)
-			cur = next
 		}
 	}
-	return buildTrace("DNET", cfg.Buses, pos, visits)
+	return buildTrace("DNET", cfg.Buses, tp.pos, visits)
 }

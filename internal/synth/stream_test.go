@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func smallDART() DARTConfig {
+	cfg := DefaultDART()
+	cfg.Nodes = 24
+	cfg.Landmarks = 20
+	cfg.Days = 10
+	cfg.Communities = 4
+	return cfg
+}
+
+func smallDNET() DNETConfig {
+	cfg := DefaultDNET()
+	cfg.Buses = 10
+	cfg.Landmarks = 10
+	cfg.Days = 6
+	cfg.Routes = 3
+	return cfg
+}
+
+// materializeStream drains a source and fails the test on any stream-order
+// violation.
+func materializeStream(t *testing.T, src trace.Source) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestDARTSourceValid checks the streamed DART family is a structurally
+// valid trace sharing its topology with the materializing generator.
+func TestDARTSourceValid(t *testing.T) {
+	cfg := smallDART()
+	tr := materializeStream(t, DARTSource(cfg, StreamConfig{}))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes != cfg.Nodes || tr.NumLandmarks != cfg.Landmarks {
+		t.Fatalf("dims = (%d,%d), want (%d,%d)", tr.NumNodes, tr.NumLandmarks, cfg.Nodes, cfg.Landmarks)
+	}
+	if len(tr.Visits) == 0 {
+		t.Fatal("stream emitted no visits")
+	}
+	mat := DART(cfg)
+	if len(tr.Positions) != len(mat.Positions) {
+		t.Fatalf("%d positions, want %d", len(tr.Positions), len(mat.Positions))
+	}
+	for i := range tr.Positions {
+		if tr.Positions[i] != mat.Positions[i] {
+			t.Fatalf("position %d differs from materializing generator", i)
+		}
+	}
+	// Every node walks: a silent per-node RNG bug would drop whole nodes.
+	seen := make([]bool, tr.NumNodes)
+	for _, v := range tr.Visits {
+		seen[v.Node] = true
+	}
+	for n, ok := range seen {
+		if !ok {
+			t.Fatalf("node %d emitted no visits", n)
+		}
+	}
+}
+
+// TestDNETSourceValid is the DNET counterpart.
+func TestDNETSourceValid(t *testing.T) {
+	cfg := smallDNET()
+	tr := materializeStream(t, DNETSource(cfg, StreamConfig{}))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes != cfg.Buses || tr.NumLandmarks != cfg.Landmarks {
+		t.Fatalf("dims = (%d,%d), want (%d,%d)", tr.NumNodes, tr.NumLandmarks, cfg.Buses, cfg.Landmarks)
+	}
+	mat := DNET(cfg)
+	for i := range tr.Positions {
+		if tr.Positions[i] != mat.Positions[i] {
+			t.Fatalf("position %d differs from materializing generator", i)
+		}
+	}
+}
+
+// TestStreamInvariance pins the streaming determinism contract: the emitted
+// visit sequence is identical for every Workers, Chunk and Window setting.
+func TestStreamInvariance(t *testing.T) {
+	cfg := smallDART()
+	ref := materializeStream(t, DARTSource(cfg, StreamConfig{Workers: 1}))
+	variants := []StreamConfig{
+		{Workers: 2},
+		{Workers: 8},
+		{Workers: 1, Chunk: 1},
+		{Workers: 4, Chunk: 7},
+		{Workers: 4, Window: 6 * trace.Hour},
+		{Workers: 4, Window: 100 * trace.Day},
+	}
+	for _, sc := range variants {
+		got := materializeStream(t, DARTSource(cfg, sc))
+		if len(got.Visits) != len(ref.Visits) {
+			t.Fatalf("%+v: %d visits, want %d", sc, len(got.Visits), len(ref.Visits))
+		}
+		for i := range got.Visits {
+			if got.Visits[i] != ref.Visits[i] {
+				t.Fatalf("%+v: visit %d = %+v, want %+v", sc, i, got.Visits[i], ref.Visits[i])
+			}
+		}
+	}
+
+	dn := smallDNET()
+	dref := materializeStream(t, DNETSource(dn, StreamConfig{Workers: 1}))
+	dgot := materializeStream(t, DNETSource(dn, StreamConfig{Workers: 8, Chunk: 3, Window: 5 * trace.Hour}))
+	if len(dgot.Visits) != len(dref.Visits) {
+		t.Fatalf("DNET: %d visits, want %d", len(dgot.Visits), len(dref.Visits))
+	}
+	for i := range dgot.Visits {
+		if dgot.Visits[i] != dref.Visits[i] {
+			t.Fatalf("DNET: visit %d = %+v, want %+v", i, dgot.Visits[i], dref.Visits[i])
+		}
+	}
+}
+
+// TestStreamScalesNodes checks the knob the scale tier turns: multiplying
+// Nodes multiplies the population without disturbing validity.
+func TestStreamScalesNodes(t *testing.T) {
+	cfg := smallDART()
+	cfg.Nodes *= 4
+	cfg.Communities *= 4
+	tr := materializeStream(t, DARTSource(cfg, StreamConfig{}))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes != cfg.Nodes {
+		t.Fatalf("NumNodes = %d, want %d", tr.NumNodes, cfg.Nodes)
+	}
+}

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// chunkedSource hands out a fixed script of chunks, including empty
+// mid-stream chunks and deliberately out-of-order streams, so the consumer
+// contracts can be tested without a generator in the loop.
+type chunkedSource struct {
+	info   SourceInfo
+	chunks [][]Visit
+	i      int
+}
+
+func (s *chunkedSource) Info() SourceInfo { return s.info }
+
+func (s *chunkedSource) Next() ([]Visit, bool) {
+	if s.i >= len(s.chunks) {
+		return nil, false
+	}
+	c := s.chunks[s.i]
+	s.i++
+	return c, true
+}
+
+func testVisits() []Visit {
+	return []Visit{
+		{Node: 0, Landmark: 0, Start: 0, End: 10},
+		{Node: 1, Landmark: 1, Start: 5, End: 15},
+		{Node: 0, Landmark: 2, Start: 20, End: 30},
+		{Node: 1, Landmark: 0, Start: 20, End: 25},
+		{Node: 0, Landmark: 1, Start: 40, End: 50},
+	}
+}
+
+func testTrace() *Trace {
+	tr := &Trace{Name: "t", NumNodes: 2, NumLandmarks: 3, Visits: testVisits()}
+	tr.SortVisits()
+	return tr
+}
+
+// TestSliceSourceChunkBoundaries walks every chunk size from 1 to one past
+// the visit count — covering a visit landing exactly on a chunk edge (the
+// final chunk exactly full) and chunk > len — and checks the concatenation
+// matches the trace byte for byte.
+func TestSliceSourceChunkBoundaries(t *testing.T) {
+	tr := testTrace()
+	for chunk := 1; chunk <= len(tr.Visits)+1; chunk++ {
+		src := NewSliceSource(tr, chunk)
+		var got []Visit
+		calls := 0
+		for {
+			c, ok := src.Next()
+			if !ok {
+				break
+			}
+			calls++
+			got = append(got, c...)
+		}
+		if len(got) != len(tr.Visits) {
+			t.Fatalf("chunk=%d: got %d visits, want %d", chunk, len(got), len(tr.Visits))
+		}
+		for i := range got {
+			if got[i] != tr.Visits[i] {
+				t.Fatalf("chunk=%d: visit %d = %+v, want %+v", chunk, i, got[i], tr.Visits[i])
+			}
+		}
+		wantCalls := (len(tr.Visits) + chunk - 1) / chunk
+		if calls != wantCalls {
+			t.Fatalf("chunk=%d: %d Next calls, want %d", chunk, calls, wantCalls)
+		}
+	}
+}
+
+// TestSliceSourceExactBoundary pins the edge where the visit count is an
+// exact multiple of the chunk size: the last data chunk is full and the
+// following Next call must return ok=false, not an empty chunk.
+func TestSliceSourceExactBoundary(t *testing.T) {
+	tr := testTrace() // 5 visits
+	src := NewSliceSource(tr, 5)
+	c, ok := src.Next()
+	if !ok || len(c) != 5 {
+		t.Fatalf("first chunk: len=%d ok=%v, want 5 true", len(c), ok)
+	}
+	if c, ok = src.Next(); ok {
+		t.Fatalf("after exact boundary: got chunk len=%d ok=true, want ok=false", len(c))
+	}
+}
+
+// TestMaterializeEmptyChunks checks that empty mid-stream chunks are
+// tolerated: the stream contract allows Next to return (nil, true).
+func TestMaterializeEmptyChunks(t *testing.T) {
+	want := testTrace()
+	src := &chunkedSource{
+		info: SourceInfo{Name: "t", NumNodes: 2, NumLandmarks: 3},
+		chunks: [][]Visit{
+			{},
+			want.Visits[:2],
+			nil,
+			{},
+			want.Visits[2:],
+			{},
+		},
+	}
+	got, err := Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Visits) != len(want.Visits) {
+		t.Fatalf("got %d visits, want %d", len(got.Visits), len(want.Visits))
+	}
+	for i := range got.Visits {
+		if got.Visits[i] != want.Visits[i] {
+			t.Fatalf("visit %d = %+v, want %+v", i, got.Visits[i], want.Visits[i])
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaterializeOutOfOrder checks rejection of streams violating the
+// (Start, Node, Landmark) total order, including a violation that spans a
+// chunk boundary.
+func TestMaterializeOutOfOrder(t *testing.T) {
+	cases := []struct {
+		name   string
+		chunks [][]Visit
+	}{
+		{"within chunk by start", [][]Visit{{
+			{Node: 0, Landmark: 0, Start: 10, End: 20},
+			{Node: 0, Landmark: 0, Start: 5, End: 8},
+		}}},
+		{"within chunk by node", [][]Visit{{
+			{Node: 1, Landmark: 0, Start: 10, End: 20},
+			{Node: 0, Landmark: 0, Start: 10, End: 20},
+		}}},
+		{"across chunk boundary", [][]Visit{
+			{{Node: 0, Landmark: 1, Start: 10, End: 20}},
+			{{Node: 0, Landmark: 0, Start: 10, End: 12}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := &chunkedSource{
+				info:   SourceInfo{Name: "bad", NumNodes: 2, NumLandmarks: 2},
+				chunks: tc.chunks,
+			}
+			if _, err := Materialize(src); err == nil {
+				t.Fatal("Materialize accepted an out-of-order stream")
+			} else if !strings.Contains(err.Error(), "out of order") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+// TestScanSpan checks the drain-based span fallback, including the empty
+// source and a non-monotone End (a long early visit outlasting later ones).
+func TestScanSpan(t *testing.T) {
+	src := &chunkedSource{
+		info: SourceInfo{Name: "t", NumNodes: 2, NumLandmarks: 2},
+		chunks: [][]Visit{
+			{{Node: 0, Landmark: 0, Start: 3, End: 100}},
+			{},
+			{{Node: 1, Landmark: 1, Start: 10, End: 40}},
+		},
+	}
+	start, end, err := ScanSpan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 3 || end != 100 {
+		t.Fatalf("span = (%d, %d), want (3, 100)", start, end)
+	}
+
+	empty := &chunkedSource{info: SourceInfo{Name: "e"}}
+	if s, e, err := ScanSpan(empty); err != nil || s != 0 || e != 0 {
+		t.Fatalf("empty span = (%d, %d, %v), want (0, 0, nil)", s, e, err)
+	}
+
+	bad := &chunkedSource{
+		info: SourceInfo{Name: "bad", NumNodes: 1, NumLandmarks: 1},
+		chunks: [][]Visit{{
+			{Node: 0, Landmark: 0, Start: 10, End: 20},
+			{Node: 0, Landmark: 0, Start: 5, End: 8},
+		}},
+	}
+	if _, _, err := ScanSpan(bad); err == nil {
+		t.Fatal("ScanSpan accepted an out-of-order stream")
+	}
+}
+
+// TestSliceSourceSpanner checks the Spanner fast path agrees with the
+// drain-based scan.
+func TestSliceSourceSpanner(t *testing.T) {
+	tr := testTrace()
+	var src Source = NewSliceSource(tr, 2)
+	sp, ok := src.(Spanner)
+	if !ok {
+		t.Fatal("SliceSource does not implement Spanner")
+	}
+	s1, e1 := sp.Span()
+	s2, e2, err := ScanSpan(NewSliceSource(tr, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || e1 != e2 {
+		t.Fatalf("Spanner (%d,%d) != ScanSpan (%d,%d)", s1, e1, s2, e2)
+	}
+}
+
+// TestMaterializeRoundTrip checks SliceSource → Materialize reproduces the
+// original trace exactly, including the header.
+func TestMaterializeRoundTrip(t *testing.T) {
+	tr := testTrace()
+	got, err := Materialize(NewSliceSource(tr, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.NumNodes != tr.NumNodes || got.NumLandmarks != tr.NumLandmarks {
+		t.Fatalf("header = (%q,%d,%d), want (%q,%d,%d)",
+			got.Name, got.NumNodes, got.NumLandmarks, tr.Name, tr.NumNodes, tr.NumLandmarks)
+	}
+	if len(got.Visits) != len(tr.Visits) {
+		t.Fatalf("got %d visits, want %d", len(got.Visits), len(tr.Visits))
+	}
+	for i := range got.Visits {
+		if got.Visits[i] != tr.Visits[i] {
+			t.Fatalf("visit %d = %+v, want %+v", i, got.Visits[i], tr.Visits[i])
+		}
+	}
+}

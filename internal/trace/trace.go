@@ -101,14 +101,7 @@ func (tr *Trace) Duration() Time {
 func (tr *Trace) SortVisits() {
 	tr.InvalidateDerived()
 	sort.Slice(tr.Visits, func(i, j int) bool {
-		a, b := tr.Visits[i], tr.Visits[j]
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		if a.Node != b.Node {
-			return a.Node < b.Node
-		}
-		return a.Landmark < b.Landmark
+		return VisitBefore(tr.Visits[i], tr.Visits[j])
 	})
 }
 

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerate the golden-run regression corpus and verify it reproduces.
+#
+# Usage:
+#   scripts/golden.sh
+#
+# The corpus (internal/experiment/testdata/golden/*.json) pins fixed-seed
+# metrics.Summary fingerprints for every routing method on both Tiny
+# scenarios. TestGoldenRuns compares against it exactly, on the classic
+# and the sharded engine; run this script only when a numeric change is
+# intended, and review the corpus diff like code.
+set -eu
+cd "$(dirname "$0")/.."
+
+go test ./internal/experiment/ -run TestGoldenRuns -update-golden
+go test ./internal/experiment/ -run TestGoldenRuns
+git --no-pager diff --stat -- internal/experiment/testdata/golden || true
