@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"repro/internal/experiment"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -42,8 +43,18 @@ func main() {
 		rate      = flag.Float64("rate", 0, "packets/day network-wide (0 = scenario default)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+		execTrace = flag.String("trace", "", "write an execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf, *execTrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtnflow-scale:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	spec := experiment.ScaleSpec{
 		Scenario: *scenario,
@@ -53,10 +64,7 @@ func main() {
 		Stream:   synth.StreamConfig{Workers: *workers},
 	}
 
-	var (
-		res *experiment.ScaleResult
-		err error
-	)
+	var res *experiment.ScaleResult
 	switch *engine {
 	case "sharded":
 		sh := sim.ShardConfig{
@@ -70,6 +78,7 @@ func main() {
 		err = fmt.Errorf("unknown engine %q (want sharded or classic)", *engine)
 	}
 	if err != nil {
+		stopProf()
 		fmt.Fprintln(os.Stderr, "dtnflow-scale:", err)
 		os.Exit(1)
 	}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
@@ -46,6 +47,11 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the result as one machine-readable JSON object")
 		telPath    = flag.String("telemetry", "", "record telemetry events to this file (.jsonl or .csv)")
 		telCap     = flag.Int("telemetry-cap", 0, "telemetry ring capacity in events (0 = default)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+		// -trace already names the input trace here, so the execution-trace
+		// flag is spelled -exectrace (dtnflow-scale uses plain -trace).
+		execTrace = flag.String("exectrace", "", "write an execution trace to this file")
 	)
 	flag.Parse()
 
@@ -54,6 +60,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf, *execTrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtnflow-sim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	cfg := sim.DefaultConfig(tr.Duration())
 	cfg.Seed = *seed
 	cfg.TTL = ttlDef

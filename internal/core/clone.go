@@ -53,6 +53,8 @@ func (r *Router) CloneRouter(ctx *sim.Context) sim.Router {
 		}
 	}
 	cp.reachStamp = append([]int(nil), r.reachStamp...)
+	cp.directStamp = append([]int(nil), r.directStamp...)
+	cp.carrierBkt = make([][]carrierEnt, len(r.carrierBkt))
 	cp.reachEpoch = r.reachEpoch
 	cp.Debug = r.Debug
 	return cp
@@ -64,8 +66,9 @@ func (ns *nodeState) clone() *nodeState {
 		acc:       ns.acc.Clone(),
 		predicted: ns.predicted,
 		predFrom:  ns.predFrom,
-		staySum:   make(map[int]trace.Time, len(ns.staySum)),
-		stayCnt:   make(map[int]int, len(ns.stayCnt)),
+		predProb:  ns.predProb,
+		staySum:   append([]trace.Time(nil), ns.staySum...),
+		stayCnt:   append([]int(nil), ns.stayCnt...),
 		totalSum:  ns.totalSum,
 		totalCnt:  ns.totalCnt,
 		deadEnded: ns.deadEnded,
@@ -80,14 +83,11 @@ func (ns *nodeState) clone() *nodeState {
 	if len(ns.reports) > 0 {
 		cp.reports = append([]routing.BandwidthReport(nil), ns.reports...)
 	}
+	if len(ns.reportsShare) > 0 {
+		cp.reportsShare = append([]routing.BandwidthReport(nil), ns.reportsShare...)
+	}
 	if len(ns.notices) > 0 {
 		cp.notices = append([]correctionNotice(nil), ns.notices...)
-	}
-	for lm, s := range ns.staySum {
-		cp.staySum[lm] = s
-	}
-	for lm, c := range ns.stayCnt {
-		cp.stayCnt[lm] = c
 	}
 	return cp
 }
@@ -101,11 +101,15 @@ func (ls *landmarkState) clone() *landmarkState {
 		changedAt:   ls.changedAt,
 		pending:     append([]routing.BandwidthReport(nil), ls.pending...),
 		hasPending:  append([]bool(nil), ls.hasPending...),
-		forcedUntil: make(map[int]trace.Time, len(ls.forcedUntil)),
-		lbAssigned:  append([]float64(nil), ls.lbAssigned...),
-		lbSent:      append([]float64(nil), ls.lbSent...),
-		lbInRate:    append([]float64(nil), ls.lbInRate...),
-		lbOutRate:   append([]float64(nil), ls.lbOutRate...),
+		pendingList: append([]int(nil), ls.pendingList...),
+		advGen:      ls.advGen,
+		// reportsShared is rebuilt on demand from the copied pending set.
+		reportsStale: true,
+		forcedUntil:  make(map[int]trace.Time, len(ls.forcedUntil)),
+		lbAssigned:   append([]float64(nil), ls.lbAssigned...),
+		lbSent:       append([]float64(nil), ls.lbSent...),
+		lbInRate:     append([]float64(nil), ls.lbInRate...),
+		lbOutRate:    append([]float64(nil), ls.lbOutRate...),
 	}
 	if len(ls.lastHops) > 0 {
 		cp.lastHops = append([]int(nil), ls.lastHops...)

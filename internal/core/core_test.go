@@ -157,19 +157,19 @@ func TestFig10LoadBalance(t *testing.T) {
 	ls.table.MergeVector(2, v2, 1)
 
 	p := &sim.Packet{ID: 0, Src: 0, Dst: 3, DstNode: -1, Size: 1, Expiry: 1 << 40, NextHop: -1}
-	if target, _ := r.route(ctx, 0, p, nil); target != 1 {
+	if target, _ := r.route(ctx, 0, p, 0); target != 1 {
 		t.Fatalf("unloaded route = %d, want 1", target)
 	}
 	// Overload link 0->1: many packets assigned, none sent.
 	ls.lbAssigned[1] = 100
 	ls.lbSent[1] = 1
-	if target, _ := r.route(ctx, 0, p, nil); target != 2 {
+	if target, _ := r.route(ctx, 0, p, 0); target != 2 {
 		t.Errorf("overloaded route = %d, want backup 2", target)
 	}
 	// If the backup is also overloaded, stay on the primary.
 	ls.lbAssigned[2] = 100
 	ls.lbSent[2] = 1
-	if target, _ := r.route(ctx, 0, p, nil); target != 1 {
+	if target, _ := r.route(ctx, 0, p, 0); target != 1 {
 		t.Errorf("route with both overloaded = %d, want primary 1", target)
 	}
 }

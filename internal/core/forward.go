@@ -1,11 +1,10 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/routing"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // This file implements the packet forwarding algorithm of Section IV-D:
@@ -13,6 +12,14 @@ import (
 // IV-D.1), the landmark's forwarding decision (steps 2–4: direct delivery,
 // routing-table lookup, carrier selection by overall transit probability),
 // and the uplink/downlink communication scheduling of IV-D.5.
+//
+// The hot path is data-oriented: one pass over the presence set builds
+// per-target carrier buckets (so carrier selection is a bucket walk, not a
+// rescan of every present node per packet), candidate and eligibility
+// orders are realised by slices.SortFunc over dense scratch slices (every
+// comparator is a strict total order — packet and node IDs break all ties —
+// so the sort algorithm cannot influence the result), and the
+// upload/forward scheduler tracks buffer populations incrementally.
 
 // uploadEligible decides whether node state ns should hand packet p to the
 // station of landmark lm (step 5): the packet targets lm, lm is the
@@ -66,20 +73,19 @@ func (r *Router) overloaded(ls *landmarkState, next int) bool {
 // the destination itself when direct delivery applies, otherwise the
 // routing-table next hop (or its backup when the primary link is
 // overloaded). It returns target -1 when the packet cannot be routed yet.
-func (r *Router) route(ctx *sim.Context, lm int, p *sim.Packet, present []*sim.Node) (target int, exp float64) {
+// epoch is the forwarding pass that populated directStamp (0 = no presence
+// information, so direct delivery never applies).
+func (r *Router) route(ctx *sim.Context, lm int, p *sim.Packet, epoch int) (target int, exp float64) {
 	ls := r.landmarks[lm]
-	if r.cfg.DirectDelivery && p.Dst != lm {
-		for _, n := range present {
-			if r.nodes[n.ID].predicted == p.Dst {
-				exp = ls.table.Delay(p.Dst)
-				if exp >= routing.Infinite {
-					// No table route yet; a single predicted transit is
-					// expected to take about one time unit.
-					exp = float64(ctx.Cfg.Unit)
-				}
-				return p.Dst, exp
-			}
+	if r.cfg.DirectDelivery && p.Dst != lm && epoch > 0 && r.directStamp[p.Dst] == epoch {
+		// Some present node is predicted to transit to the destination.
+		exp = ls.table.Delay(p.Dst)
+		if exp >= routing.Infinite {
+			// No table route yet; a single predicted transit is
+			// expected to take about one time unit.
+			exp = float64(ctx.Cfg.Unit)
 		}
+		return p.Dst, exp
 	}
 	e, ok := ls.table.Lookup(p.Dst)
 	if !ok {
@@ -91,39 +97,42 @@ func (r *Router) route(ctx *sim.Context, lm int, p *sim.Packet, present []*sim.N
 	return e.Next, e.Delay
 }
 
-// pickCarrier returns the connected node predicted to transit to target
-// with the highest overall transit probability p_o = p_t · p_a that can
+// carrierEnt is one candidate carrier in a per-target bucket: a present
+// node predicted to transit to the bucket's target, with its overall
+// transit probability p_o = p_t · p_a (constant for the duration of a
+// forwarding pass — predictions, accuracy and dead-end state only change
+// on contact and timer events, never inside a pass).
+type carrierEnt struct {
+	n  *sim.Node
+	po float64
+}
+
+// cmpCarrier orders a bucket by overall transit probability descending,
+// node ID ascending. The first entry that fits a packet is exactly the
+// carrier a max-scan over the ID-ordered presence set with a strict
+// greater-than would pick: highest p_o, ties to the lower node ID.
+func cmpCarrier(a, b carrierEnt) int {
+	if a.po != b.po {
+		if a.po > b.po {
+			return -1
+		}
+		return 1
+	}
+	return a.n.ID - b.n.ID
+}
+
+// pickCarrier returns the first carrier in the target's bucket that can
 // store p, or nil. Only nodes whose predicted next landmark is the target
-// qualify: handing packets to nodes with merely nonzero transit
-// probability strands them on carriers that almost surely go elsewhere,
-// while a waiting station sees every future visitor. Ties break toward the
-// lower node ID for determinism.
-func (r *Router) pickCarrier(present []*sim.Node, target int, p *sim.Packet) (*sim.Node, float64) {
-	var best *sim.Node
-	bestP := 0.0
-	for _, n := range present {
-		if !n.Buffer.Fits(p.Size) {
-			continue
-		}
-		ns := r.nodes[n.ID]
-		if ns.predicted != target || ns.deadEnded {
-			// A node that declared a dead end is stuck; handing packets
-			// back to it would undo the prevention.
-			continue
-		}
-		pt := ns.pred.ProbabilityOf(target)
-		if pt <= 0 {
-			continue
-		}
-		po := pt
-		if r.cfg.UseAccuracy {
-			po *= ns.acc.Value()
-		}
-		if po > bestP {
-			best, bestP = n, po
+// qualify (the bucket build enforces this): handing packets to nodes with
+// merely nonzero transit probability strands them on carriers that almost
+// surely go elsewhere, while a waiting station sees every future visitor.
+func pickCarrier(bkt []carrierEnt, p *sim.Packet) (*sim.Node, float64) {
+	for i := range bkt {
+		if bkt[i].n.Buffer.Fits(p.Size) {
+			return bkt[i].n, bkt[i].po
 		}
 	}
-	return best, bestP
+	return nil, 0
 }
 
 // cand is one forwarding candidate of a forwardPass.
@@ -134,23 +143,23 @@ type cand struct {
 	feasible bool
 }
 
-// candList orders candidates feasible-first, then by minimal remaining
-// TTL, then by packet ID (IV-D.5). The pointer receiver lets forwardPass
-// sort the router-owned scratch slice without boxing a fresh closure per
-// call.
-type candList []cand
-
-func (s *candList) Len() int      { return len(*s) }
-func (s *candList) Swap(i, j int) { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
-func (s *candList) Less(i, j int) bool {
-	a, b := &(*s)[i], &(*s)[j]
+// cmpCand orders candidates feasible-first, then by minimal remaining TTL,
+// then by packet ID (IV-D.5). Packet IDs are unique, so this is a strict
+// total order and the sorted sequence is algorithm-independent.
+func cmpCand(a, b cand) int {
 	if a.feasible != b.feasible {
-		return a.feasible
+		if a.feasible {
+			return -1
+		}
+		return 1
 	}
 	if a.p.Expiry != b.p.Expiry {
-		return a.p.Expiry < b.p.Expiry
+		if a.p.Expiry < b.p.Expiry {
+			return -1
+		}
+		return 1
 	}
-	return a.p.ID < b.p.ID
+	return a.p.ID - b.p.ID
 }
 
 // forwardPass forwards as many station packets as possible from landmark
@@ -173,23 +182,53 @@ func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 	ls := r.landmarks[lm]
 	now := ctx.Now()
 
-	// Only targets some present node is predicted to transit to can
-	// receive packets this pass; filtering before the sort keeps congested
-	// stations (thousands of queued packets) cheap to serve. The stamp
-	// array replaces a per-pass map: reachStamp[t] == reachEpoch marks t
-	// reachable this pass.
+	// One pass over the presence set classifies every present node:
+	// directStamp marks destinations some node is predicted to transit to
+	// (the direct-delivery test of step 2 becomes O(1) per packet),
+	// reachStamp marks targets that can receive packets this pass, and the
+	// per-target buckets hold the qualifying carriers with their overall
+	// transit probability precomputed. Stamp arrays replace per-pass maps:
+	// stamp[t] == reachEpoch marks t live this pass, and a bucket is only
+	// ever read when its target's stamp is live, so stale buckets need no
+	// clearing.
 	r.reachEpoch++
 	epoch := r.reachEpoch
 	anyReachable := false
+	targets := r.targetScratch[:0]
 	for _, n := range present {
 		ns := r.nodes[n.ID]
-		if ns.predicted >= 0 && !ns.deadEnded {
-			r.reachStamp[ns.predicted] = epoch
+		if ns.predicted < 0 {
+			continue
+		}
+		r.directStamp[ns.predicted] = epoch
+		if ns.deadEnded {
+			// A node that declared a dead end is stuck; handing packets
+			// back to it would undo the prevention.
+			continue
+		}
+		t := ns.predicted
+		if r.reachStamp[t] != epoch {
+			r.reachStamp[t] = epoch
+			r.carrierBkt[t] = r.carrierBkt[t][:0]
+			targets = append(targets, t)
 			anyReachable = true
 		}
+		if pt := ns.predProb; pt > 0 {
+			po := pt
+			if r.cfg.UseAccuracy {
+				po *= ns.acc.Value()
+			}
+			r.carrierBkt[t] = append(r.carrierBkt[t], carrierEnt{n: n, po: po})
+		}
 	}
+	r.targetScratch = targets
 	if !anyReachable {
 		return 0
+	}
+	for _, t := range targets {
+		if len(r.carrierBkt[t]) > 1 {
+			slices.SortFunc(r.carrierBkt[t], cmpCarrier)
+		}
 	}
 
 	// Order: feasible first, then by remaining TTL ascending. Copy the
@@ -201,7 +240,7 @@ func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 		if p.Dst == lm {
 			continue // node-destined packet waiting at its rendezvous
 		}
-		target, exp := r.route(ctx, lm, p, present)
+		target, exp := r.route(ctx, lm, p, epoch)
 		if target < 0 {
 			r.Debug.NoRoute++
 			continue
@@ -213,11 +252,10 @@ func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 		cands = append(cands, cand{p: p, target: target, exp: exp, feasible: exp < float64(p.Remaining(now))})
 	}
 	r.candScratch = cands
-	sort.Stable(&r.candScratch)
-	cands = r.candScratch
+	slices.SortFunc(cands, cmpCand)
 	sent := 0
 	for _, cd := range cands {
-		carrier, _ := r.pickCarrier(present, cd.target, cd.p)
+		carrier, _ := pickCarrier(r.carrierBkt[cd.target], cd.p)
 		if carrier == nil {
 			r.Debug.NoCarrier++
 			continue
@@ -242,27 +280,31 @@ func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 	return sent
 }
 
-// eligList orders upload-eligible packets feasible-first (recorded
-// expected delay fits the remaining TTL at time now), then by minimal
-// remaining TTL, then by packet ID (IV-D.5 step 3).
-type eligList struct {
-	pkts []*sim.Packet
-	now  trace.Time
+// elig is one upload-eligible packet with its feasibility (recorded
+// expected delay fits the remaining TTL) precomputed, so the sort
+// comparator does no arithmetic.
+type elig struct {
+	p        *sim.Packet
+	feasible bool
 }
 
-func (s *eligList) Len() int      { return len(s.pkts) }
-func (s *eligList) Swap(i, j int) { s.pkts[i], s.pkts[j] = s.pkts[j], s.pkts[i] }
-func (s *eligList) Less(i, j int) bool {
-	a, b := s.pkts[i], s.pkts[j]
-	fa := a.ExpDelay < float64(a.Remaining(s.now))
-	fb := b.ExpDelay < float64(b.Remaining(s.now))
-	if fa != fb {
-		return fa
+// cmpElig orders upload-eligible packets feasible-first, then by minimal
+// remaining TTL, then by packet ID (IV-D.5 step 3) — a strict total order,
+// like cmpCand.
+func cmpElig(a, b elig) int {
+	if a.feasible != b.feasible {
+		if a.feasible {
+			return -1
+		}
+		return 1
 	}
-	if a.Expiry != b.Expiry {
-		return a.Expiry < b.Expiry
+	if a.p.Expiry != b.p.Expiry {
+		if a.p.Expiry < b.p.Expiry {
+			return -1
+		}
+		return 1
 	}
-	return a.ID < b.ID
+	return a.p.ID - b.p.ID
 }
 
 // uploadBatch uploads up to NMax eligible packets from the contact's node,
@@ -273,34 +315,32 @@ func (r *Router) uploadBatch(ctx *sim.Context, c *sim.Contact) int {
 	ns := r.nodes[n.ID]
 	lm := c.Landmark
 	now := ctx.Now()
-	elig := r.eligScratch.pkts[:0]
+	el := r.eligScratch[:0]
 	for _, p := range n.Buffer.Packets() {
 		if r.uploadEligible(ns, p, lm) {
-			elig = append(elig, p)
+			el = append(el, elig{p: p, feasible: p.ExpDelay < float64(p.Remaining(now))})
 		}
 	}
-	r.eligScratch.pkts = elig
-	r.eligScratch.now = now
-	sort.Stable(&r.eligScratch)
-	elig = r.eligScratch.pkts
+	r.eligScratch = el
+	slices.SortFunc(el, cmpElig)
 	max := r.cfg.NMax
 	if max <= 0 {
-		max = len(elig)
+		max = len(el)
 	}
 	up := 0
-	for _, p := range elig {
+	for _, e := range el {
 		if up >= max {
 			break
 		}
-		if !ctx.Upload(c, n, p) {
+		if !ctx.Upload(c, n, e.p) {
 			if c.Budget <= 0 {
 				break
 			}
 			continue
 		}
 		up++
-		if !p.Done() {
-			r.stationReceive(ctx, lm, p)
+		if !e.p.Done() {
+			r.stationReceive(ctx, lm, e.p)
 		}
 	}
 	return up
@@ -309,17 +349,23 @@ func (r *Router) uploadBatch(ctx *sim.Context, c *sim.Contact) int {
 // schedule runs the communication scheduling of Section IV-D.5 for one
 // contact: the station alternates between uploading (collecting packets
 // from the arriving node) and forwarding (handing packets to carriers),
-// switching modes on the ratio R of station packets to node packets.
+// switching modes on the ratio R of station packets to node packets. The
+// node-side population nn is maintained incrementally: an upload batch
+// only ever drains the contact node's buffer (its length delta is exact,
+// including expiry drops), and a forwarding pass adds exactly its sent
+// count to present carriers (Download reports true only when the packet
+// lands in the carrier's buffer). The presence set cannot change inside
+// the loop — arrivals and departures are events, and events do not nest.
 func (r *Router) schedule(ctx *sim.Context, c *sim.Contact) {
 	lm := c.Landmark
 	st := ctx.Stations[lm]
+	nn := 0
+	for _, n := range ctx.NodesAt(lm) {
+		nn += n.Buffer.Len()
+	}
 	mode := "upload"
 	for c.Budget > 0 {
 		nl := st.Buffer.Len()
-		nn := 0
-		for _, n := range ctx.NodesAt(lm) {
-			nn += n.Buffer.Len()
-		}
 		switch {
 		case nn == 0 && nl == 0:
 			return
@@ -335,16 +381,24 @@ func (r *Router) schedule(ctx *sim.Context, c *sim.Contact) {
 		}
 		progressed := false
 		if mode == "upload" {
+			before := c.Node.Buffer.Len()
 			progressed = r.uploadBatch(ctx, c) > 0
+			nn -= before - c.Node.Buffer.Len()
 			if !progressed {
 				mode = "forward"
-				progressed = r.forwardPass(ctx, lm, c) > 0
+				sent := r.forwardPass(ctx, lm, c)
+				nn += sent
+				progressed = sent > 0
 			}
 		} else {
-			progressed = r.forwardPass(ctx, lm, c) > 0
+			sent := r.forwardPass(ctx, lm, c)
+			nn += sent
+			progressed = sent > 0
 			if !progressed {
 				mode = "upload"
+				before := c.Node.Buffer.Len()
 				progressed = r.uploadBatch(ctx, c) > 0
+				nn -= before - c.Node.Buffer.Len()
 			}
 		}
 		if !progressed {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/predict"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -33,16 +35,23 @@ type correctionNotice struct {
 type nodeState struct {
 	pred      *predict.Markov
 	acc       *predict.AccuracyTracker
-	predicted int // predicted next landmark; -1 unknown
-	predFrom  int // landmark where the prediction was made; -1 none
+	predicted int     // predicted next landmark; -1 unknown
+	predFrom  int     // landmark where the prediction was made; -1 none
+	predProb  float64 // transit probability p_t of predicted; 0 when unknown
 
 	vectors []carriedVector
-	reports []routing.BandwidthReport
-	notices []correctionNotice
+	// reports holds report copies this node owns (leftovers kept across an
+	// arrival); reportsShare is the pending-set snapshot taken at the last
+	// departure, shared read-only with the landmark and every other node
+	// that departed in the same unit.
+	reports      []routing.BandwidthReport
+	reportsShare []routing.BandwidthReport
+	notices      []correctionNotice
 
-	// stay-time statistics for dead-end detection.
-	staySum   map[int]trace.Time
-	stayCnt   map[int]int
+	// stay-time statistics for dead-end detection (dense per landmark —
+	// two map assigns per departure were measurable at scale).
+	staySum   []trace.Time
+	stayCnt   []int
 	totalSum  trace.Time
 	totalCnt  int
 	deadEnded bool // dead end declared during the current visit
@@ -66,14 +75,25 @@ type landmarkState struct {
 	changedAt trace.Time
 	// pending holds the latest bandwidth report per neighbour awaiting
 	// transport back to that neighbour (dense per landmark; hasPending
-	// marks the populated entries — departures scan it on the hot path).
-	pending    []routing.BandwidthReport
-	hasPending []bool
+	// marks the populated entries, pendingList keeps them in index order
+	// so departures iterate the populated set without a dense scan).
+	pending     []routing.BandwidthReport
+	hasPending  []bool
+	pendingList []int
+	// reportsShared is the carried copy of the pending set handed to
+	// departing nodes; like advVec it is shared between all nodes departing
+	// between two pending-set changes (readers never mutate it) and
+	// replaced — never rewritten — when the set moves on (reportsStale).
+	reportsShared []routing.BandwidthReport
+	reportsStale  bool
 	// advVec is the advertisement copy handed to departing nodes; it is
 	// shared between all nodes carrying the same table state (receivers
 	// copy on merge and never mutate it) and replaced — never rewritten —
-	// when the table's vector changes.
+	// when the table's vector changes. advGen is the table generation
+	// advVec was built against: an unchanged generation proves the vector
+	// unchanged, skipping the per-departure element compare.
 	advVec []float64
+	advGen uint64
 	// notices holds outstanding loop-correction notices to be spread.
 	notices []correctionNotice
 	// forcedUntil, per destination, keeps forced re-advertisement active.
@@ -110,11 +130,14 @@ type Router struct {
 	// Reusable scratch state for the forwarding hot path (forward.go).
 	// One router serves one engine, so the scratch is race-free; sweeps
 	// parallelise across engines, each with its own router.
-	reachStamp  []int // per landmark; == reachEpoch when reachable this pass
-	reachEpoch  int
-	pktScratch  []*sim.Packet
-	candScratch candList
-	eligScratch eligList
+	reachStamp    []int // per landmark; == reachEpoch when reachable this pass
+	directStamp   []int // per landmark; == reachEpoch when some present node predicts it
+	reachEpoch    int
+	pktScratch    []*sim.Packet
+	candScratch   []cand
+	eligScratch   []elig
+	carrierBkt    [][]carrierEnt // per target; valid when reachStamp matches
+	targetScratch []int          // targets stamped by the current pass
 
 	// UnitHook, when set, runs after each time-unit boundary is
 	// processed; experiments use it to snapshot tables (Fig. 8).
@@ -159,13 +182,15 @@ func (r *Router) Init(ctx *sim.Context) {
 		if acc.Beta <= 0 {
 			acc.Beta = 0.8
 		}
+		pred := predict.NewMarkov(r.cfg.Order)
+		pred.SetDomain(nL)
 		r.nodes[i] = &nodeState{
-			pred:      predict.NewMarkov(r.cfg.Order),
+			pred:      pred,
 			acc:       acc,
 			predicted: -1,
 			predFrom:  -1,
-			staySum:   map[int]trace.Time{},
-			stayCnt:   map[int]int{},
+			staySum:   make([]trace.Time, nL),
+			stayCnt:   make([]int, nL),
 		}
 	}
 	r.landmarks = make([]*landmarkState, nL)
@@ -186,6 +211,8 @@ func (r *Router) Init(ctx *sim.Context) {
 	}
 	r.freq = make([][]int, len(ctx.Nodes))
 	r.reachStamp = make([]int, nL)
+	r.directStamp = make([]int, nL)
+	r.carrierBkt = make([][]carrierEnt, nL)
 	r.reachEpoch = 0
 }
 
@@ -235,10 +262,13 @@ func (r *Router) OnContact(ctx *sim.Context, c *sim.Contact) {
 	// 4. The node observes its visit and predicts its next transit,
 	// informing the landmark (step 5 of the routing algorithm).
 	ns.pred.Observe(lm)
-	if next, _, ok := ns.pred.Predict(); ok && next != lm {
-		ns.predicted, ns.predFrom = next, lm
+	if next, p, ok := ns.pred.Predict(); ok && next != lm {
+		// p is exactly ProbabilityOf(next): the prediction is the head of
+		// the memoized distribution, which only changes on Observe — so
+		// the forwarding pass reads the cached copy instead of rescanning.
+		ns.predicted, ns.predFrom, ns.predProb = next, lm, p
 	} else {
-		ns.predicted, ns.predFrom = -1, lm
+		ns.predicted, ns.predFrom, ns.predProb = -1, lm, 0
 	}
 	ns.deadEnded = false
 
@@ -277,20 +307,26 @@ func (r *Router) OnDepart(ctx *sim.Context, n *sim.Node, lm int) {
 	// forces advertising regardless.
 	forced := false
 	now := ctx.Now()
-	for d, until := range ls.forcedUntil {
-		if now < until {
-			forced = true
-		} else {
-			delete(ls.forcedUntil, d)
+	if len(ls.forcedUntil) > 0 {
+		for d, until := range ls.forcedUntil {
+			if now < until {
+				forced = true
+			} else {
+				delete(ls.forcedUntil, d)
+			}
 		}
 	}
 	if forced || now < ls.changedAt+ctx.Cfg.Unit {
 		// All departures between two table changes carry identical vector
 		// contents, so they share one copy (receivers copy on merge; the
-		// copy is replaced, never rewritten, when the table moves on).
+		// copy is replaced, never rewritten, when the table moves on). The
+		// table generation proves the copy current without comparing it.
 		vec := ls.table.ToVector()
-		if !equalFloats(ls.advVec, vec) {
-			ls.advVec = append([]float64(nil), vec...)
+		if g := ls.table.Gen(); ls.advVec == nil || g != ls.advGen {
+			if !equalFloats(ls.advVec, vec) {
+				ls.advVec = append([]float64(nil), vec...)
+			}
+			ls.advGen = g
 		}
 		ns.vectors = append(ns.vectors, carriedVector{
 			owner:   lm,
@@ -314,10 +350,7 @@ func (r *Router) OnDepart(ctx *sim.Context, n *sim.Node, lm int) {
 	// pending set (reports are single entries) and delivers whichever
 	// matches the landmark it actually reaches.
 	ns.reports = ns.reports[:0]
-	ls.nbrScratch = ls.appendIncomingNeighbors(ls.nbrScratch[:0])
-	for _, from := range ls.nbrScratch {
-		ns.reports = append(ns.reports, ls.pending[from])
-	}
+	ns.reportsShare = ls.sharedReports()
 
 	// Loop-correction notices spread through every departing node.
 	ns.notices = ns.notices[:0]
@@ -336,7 +369,8 @@ func (r *Router) OnTimeUnit(ctx *sim.Context, seq int) {
 		ls.nbrScratch = ls.appendIncomingNeighbors(ls.nbrScratch[:0])
 		for _, rep := range ls.arrivals.Roll(lm, seq, ls.nbrScratch) {
 			ls.pending[rep.From] = rep
-			ls.hasPending[rep.From] = true
+			ls.markPending(rep.From)
+			ls.reportsStale = true
 			// Until the reverse report arrives, estimate the outgoing
 			// bandwidth from the incoming one under observation O3
 			// (matching transit links are near-symmetric).
@@ -398,12 +432,41 @@ func (r *Router) OnTimeUnit(ctx *sim.Context, seq int) {
 // produced a report for (so zero-count reports decay dead links) to dst,
 // in index order. Callers pass a reusable scratch slice.
 func (ls *landmarkState) appendIncomingNeighbors(dst []int) []int {
-	for from, has := range ls.hasPending {
-		if has {
-			dst = append(dst, from)
+	return append(dst, ls.pendingList...)
+}
+
+// markPending records that a report for neighbour from is pending,
+// inserting it into the sorted pendingList on first sight. The set only
+// grows (reports are overwritten, never retired), so insertion is rare.
+func (ls *landmarkState) markPending(from int) {
+	if ls.hasPending[from] {
+		return
+	}
+	ls.hasPending[from] = true
+	i := sort.SearchInts(ls.pendingList, from)
+	ls.pendingList = append(ls.pendingList, 0)
+	copy(ls.pendingList[i+1:], ls.pendingList[i:])
+	ls.pendingList[i] = from
+}
+
+// sharedReports returns the shared snapshot of the pending report set,
+// rebuilding it only after the set changed — every departure between two
+// unit boundaries hands out the same copy instead of materialising its
+// own.
+func (ls *landmarkState) sharedReports() []routing.BandwidthReport {
+	if ls.reportsStale {
+		ls.reportsStale = false
+		if len(ls.pendingList) == 0 {
+			ls.reportsShared = nil
+		} else {
+			s := make([]routing.BandwidthReport, 0, len(ls.pendingList))
+			for _, from := range ls.pendingList {
+				s = append(s, ls.pending[from])
+			}
+			ls.reportsShared = s
 		}
 	}
-	return dst
+	return ls.reportsShared
 }
 
 // deliverControl applies the control payloads a node carries when it
@@ -428,19 +491,31 @@ func (r *Router) deliverControl(ctx *sim.Context, ns *nodeState, lm int) {
 		}
 		ns.vectors = keep
 	}
-	if len(ns.reports) > 0 {
+	if len(ns.reports) > 0 || len(ns.reportsShare) > 0 {
+		// Owned leftovers first (in practice empty: every departure resets
+		// them), then the shared snapshot taken at the last departure —
+		// the same application order as when each node carried its own
+		// copies.
 		keep := ns.reports[:0]
 		for _, rep := range ns.reports {
 			if rep.From == lm {
-				if ls.bw.Apply(rep.To, float64(rep.Count), rep.Seq) {
-					ls.table.SetLinkDelay(rep.To, routing.LinkDelay(ls.bw.Bandwidth(rep.To), ctx.Cfg.Unit))
-				}
-				ctx.Metrics.Control(1)
+				r.applyReport(ctx, ls, rep)
 			} else if rep.Seq >= r.unitSeq-2 {
 				keep = append(keep, rep) // still fresh; keep carrying
 			}
 		}
+		for i := range ns.reportsShare {
+			if ns.reportsShare[i].From == lm {
+				r.applyReport(ctx, ls, ns.reportsShare[i])
+			}
+			// Undelivered snapshot entries are dropped, not carried on:
+			// arrivals and departures strictly alternate per node (trace
+			// visits are disjoint intervals), and the next departure
+			// rebuilds the carried set before the next arrival could read
+			// a retained copy — so keeping them is unobservable work.
+		}
 		ns.reports = keep
+		ns.reportsShare = nil
 	}
 	if len(ns.notices) > 0 {
 		keep := ns.notices[:0]
@@ -460,6 +535,15 @@ func (r *Router) deliverControl(ctx *sim.Context, ns *nodeState, lm int) {
 		}
 		ns.notices = keep
 	}
+}
+
+// applyReport folds one bandwidth report addressed to this landmark into
+// its bandwidth table and, when the estimate moved, its routing table.
+func (r *Router) applyReport(ctx *sim.Context, ls *landmarkState, rep routing.BandwidthReport) {
+	if ls.bw.Apply(rep.To, float64(rep.Count), rep.Seq) {
+		ls.table.SetLinkDelay(rep.To, routing.LinkDelay(ls.bw.Bandwidth(rep.To), ctx.Cfg.Unit))
+	}
+	ctx.Metrics.Control(1)
 }
 
 func (r *Router) loopPeriod(ctx *sim.Context) trace.Time {

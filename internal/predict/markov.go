@@ -21,6 +21,14 @@ type Markov struct {
 	counts map[string]map[int]int
 	// ctxTotal[ctx] = total occurrences of context ctx with a successor.
 	ctxTotal map[string]int
+	// Dense order-1 fast path, enabled by SetDomain when k == 1: the
+	// context is just the previous landmark, so rows[prev][next] holds the
+	// transition counts and tot[prev] the row totals — no context keys, no
+	// map traffic on the per-contact hot path. Rows allocate lazily; a
+	// node only pays for landmarks it has actually departed from.
+	n    int
+	rows [][]uint32
+	tot  []int
 	// dist memoizes Distribution between Observes: carrier selection
 	// queries the same distribution once per present node per forwarding
 	// pass, while the history only changes on arrival.
@@ -43,6 +51,21 @@ func NewMarkov(k int) *Markov {
 // Order returns the predictor's order k.
 func (m *Markov) Order() int { return m.k }
 
+// SetDomain declares the landmark index domain [0, n). For an order-1
+// predictor this enables the dense transition-count fast path; it must be
+// called before the first Observe and is a no-op otherwise. Predictions
+// are bit-identical to the generic path: the per-context candidate sets
+// and probabilities are the same, and the (probability, landmark) order is
+// strict, so the realised distribution cannot differ.
+func (m *Markov) SetDomain(n int) {
+	if n <= 0 || m.k != 1 || len(m.history) > 0 {
+		return
+	}
+	m.n = n
+	m.rows = make([][]uint32, n)
+	m.tot = make([]int, n)
+}
+
 // Clone returns an independent copy of the predictor (a pure read of the
 // receiver, safe to call concurrently on a frozen predictor). The memoized
 // distribution is copied rather than invalidated so a clone's query
@@ -64,6 +87,16 @@ func (m *Markov) Clone() *Markov {
 	}
 	for key, t := range m.ctxTotal {
 		cp.ctxTotal[key] = t
+	}
+	if m.rows != nil {
+		cp.n = m.n
+		cp.rows = make([][]uint32, len(m.rows))
+		for i, row := range m.rows {
+			if row != nil {
+				cp.rows[i] = append([]uint32(nil), row...)
+			}
+		}
+		cp.tot = append([]int(nil), m.tot...)
 	}
 	if len(m.dist) > 0 {
 		cp.dist = append([]Prediction(nil), m.dist...)
@@ -108,15 +141,28 @@ func (m *Markov) Observe(lm int) {
 	if n > 0 && m.history[n-1] == lm {
 		return
 	}
-	for j := 1; j <= m.k && j <= n; j++ {
-		key := ctxKey(m.history[n-j:])
-		nm := m.counts[key]
-		if nm == nil {
-			nm = map[int]int{}
-			m.counts[key] = nm
+	if m.rows != nil {
+		if n > 0 {
+			prev := m.history[n-1]
+			row := m.rows[prev]
+			if row == nil {
+				row = make([]uint32, m.n)
+				m.rows[prev] = row
+			}
+			row[lm]++
+			m.tot[prev]++
 		}
-		nm[lm]++
-		m.ctxTotal[key]++
+	} else {
+		for j := 1; j <= m.k && j <= n; j++ {
+			key := ctxKey(m.history[n-j:])
+			nm := m.counts[key]
+			if nm == nil {
+				nm = map[int]int{}
+				m.counts[key] = nm
+			}
+			nm[lm]++
+			m.ctxTotal[key]++
+		}
 	}
 	m.history = append(m.history, lm)
 	m.distValid = false
@@ -151,6 +197,20 @@ func (m *Markov) computeDistribution(out []Prediction) []Prediction {
 	if n == 0 {
 		return nil
 	}
+	if m.rows != nil {
+		prev := m.history[n-1]
+		total := m.tot[prev]
+		if total == 0 {
+			return nil
+		}
+		for lm, c := range m.rows[prev] {
+			if c > 0 {
+				out = append(out, Prediction{Landmark: lm, Probability: float64(c) / float64(total)})
+			}
+		}
+		sortPredictions(out)
+		return out
+	}
 	for j := min(m.k, n); j >= 1; j-- {
 		key := ctxKey(m.history[n-j:])
 		total := m.ctxTotal[key]
@@ -160,22 +220,28 @@ func (m *Markov) computeDistribution(out []Prediction) []Prediction {
 		for lm, c := range m.counts[key] {
 			out = append(out, Prediction{Landmark: lm, Probability: float64(c) / float64(total)})
 		}
-		// Insertion sort: candidate sets are small (the distinct successors
-		// of one context) and this avoids sort.Slice's reflection overhead
-		// on the hot path.
-		for i := 1; i < len(out); i++ {
-			p := out[i]
-			j := i - 1
-			for j >= 0 && (out[j].Probability < p.Probability ||
-				(out[j].Probability == p.Probability && out[j].Landmark > p.Landmark)) {
-				out[j+1] = out[j]
-				j--
-			}
-			out[j+1] = p
-		}
+		sortPredictions(out)
 		return out
 	}
 	return nil
+}
+
+// sortPredictions orders by probability descending, landmark ascending —
+// a strict total order (landmarks are unique), so any sort realises the
+// same sequence. Insertion sort: candidate sets are small (the distinct
+// successors of one context) and this avoids sort.Slice's reflection
+// overhead on the hot path.
+func sortPredictions(out []Prediction) {
+	for i := 1; i < len(out); i++ {
+		p := out[i]
+		j := i - 1
+		for j >= 0 && (out[j].Probability < p.Probability ||
+			(out[j].Probability == p.Probability && out[j].Landmark > p.Landmark)) {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = p
+	}
 }
 
 // Predict returns the most probable next landmark and its probability.

@@ -1,0 +1,84 @@
+// Package prof starts the standard Go performance collectors — CPU
+// profile, end-of-run heap profile, execution trace — behind the
+// command-line flags the dtnflow binaries expose. It exists so profiling
+// a real run (rather than a go-test benchmark) needs no code changes:
+//
+//	dtnflow-scale -mult 10 -cpuprofile cpu.pb.gz
+//	go tool pprof cpu.pb.gz
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// Start begins the collectors named by the given output paths (empty
+// paths are skipped) and returns a stop function that must run before the
+// process exits: it stops the CPU profile and execution trace and writes
+// the heap profile after a final GC. On error every collector already
+// started is stopped again.
+func Start(cpuPath, memPath, tracePath string) (func(), error) {
+	var stops []func()
+	unwind := func(err error) (func(), error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		return nil, err
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return unwind(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return unwind(fmt.Errorf("cpu profile: %w", err))
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return unwind(err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return unwind(fmt.Errorf("execution trace: %w", err))
+		}
+		stops = append(stops, func() {
+			rtrace.Stop()
+			f.Close()
+		})
+	}
+	return func() {
+		// The heap profile is written first, while the trace/CPU collectors
+		// are still running: WriteHeapProfile only snapshots allocation
+		// state, and this way the profile reflects the run's end state
+		// before any collector teardown.
+		if memPath != "" {
+			writeHeapProfile(memPath)
+		}
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}, nil
+}
+
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prof: heap profile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialise the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "prof: heap profile:", err)
+	}
+}

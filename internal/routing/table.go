@@ -1,6 +1,9 @@
 package routing
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Entry is one routing-table row (Table IV / Table V): the next-hop
 // landmark toward Dest with the minimal overall delay, plus the backup
@@ -17,24 +20,47 @@ type Entry struct {
 
 // Table is the distance-vector routing table of one landmark. It stores
 // the latest distance vector received from each neighbouring landmark
-// together with the local link delays, and recomputes best and backup
+// together with the local link delays, and maintains best and backup
 // routes from them — the fixpoint of the paper's per-entry merge of
-// Section IV-C.2, extended with backup tracking. Storage is dense (indexed
-// by landmark) because recomputation is the hot path of large simulations.
+// Section IV-C.2, extended with backup tracking.
+//
+// Maintenance is incremental: a mutation (a link-delay change from a
+// bandwidth update, or a handful of changed entries in a merged vector)
+// touches exactly one candidate (dest, neighbour) pair per changed input,
+// and candChanged folds that delta into the affected row in O(1) — only
+// when the changed candidate was the row's current best or backup and got
+// worse does the row join a dirty set for a single-row rescan at the next
+// read. A full recomputation never runs after construction; the historical
+// recompute loop is retained solely as the reference for CheckFull, the
+// equivalence cross-check the property tests and the validation layer run.
+// Storage is dense (indexed by landmark) because large simulations hammer
+// the merge path.
 type Table struct {
 	Owner int
 
 	size      int
-	linkDelay []float64         // per neighbour; Infinite = no link
-	nbrs      []int             // sorted neighbours with finite link delay
-	vectors   map[int][]float64 // neighbour -> advertised delay per dest
-	vectorSeq map[int]int       // neighbour -> seq of stored vector
-	next      []int             // per dest; -1 = unreachable
-	delay     []float64         // per dest
-	backup    []int             // per dest; -1 = none
-	bakDelay  []float64         // per dest
+	linkDelay []float64   // per neighbour; Infinite = no link
+	nbrs      []int       // sorted neighbours with finite link delay
+	vectors   [][]float64 // per neighbour: advertised delay per dest (nil = none)
+	vectorSeq []int       // per neighbour: seq of stored vector
+	next      []int       // per dest; -1 = unreachable
+	delay     []float64   // per dest
+	backup    []int       // per dest; -1 = none
+	bakDelay  []float64   // per dest
 	reachable int
-	dirty     bool
+
+	// Incremental-maintenance state: rows whose best/backup may have
+	// worsened await a single-row rescan; dirtyAll forces the full
+	// recompute (only structural resets use it).
+	dirtyAll  bool
+	dirtyDest []bool
+	dirtyList []int
+	// gen increases whenever the routed state (next/delay/backup) may have
+	// changed; readers that cache derived views (the router's shared
+	// advertisement copy) compare generations instead of whole vectors.
+	// Read it after a refreshing accessor (Lookup, ToVector, …) so pending
+	// rescans are folded in.
+	gen uint64
 }
 
 // NewTable returns an empty table for landmark owner in a network of size
@@ -44,12 +70,13 @@ func NewTable(owner, size int) *Table {
 		Owner:     owner,
 		size:      size,
 		linkDelay: make([]float64, size),
-		vectors:   map[int][]float64{},
-		vectorSeq: map[int]int{},
+		vectors:   make([][]float64, size),
+		vectorSeq: make([]int, size),
 		next:      make([]int, size),
 		delay:     make([]float64, size),
 		backup:    make([]int, size),
 		bakDelay:  make([]float64, size),
+		dirtyDest: make([]bool, size),
 	}
 	for i := 0; i < size; i++ {
 		t.linkDelay[i] = Infinite
@@ -64,15 +91,130 @@ func NewTable(owner, size int) *Table {
 // Size returns the number of landmarks the table was sized for.
 func (t *Table) Size() int { return t.size }
 
+// Gen returns the table's route generation: it increases whenever the
+// routed state may have changed, so derived views cached against it are
+// rebuilt only on change. Call it after a refreshing accessor (ToVector,
+// Lookup) — pending row rescans bump the generation when they apply.
+func (t *Table) Gen() uint64 { return t.gen }
+
+// beats reports whether candidate (c1 via neighbour i1) precedes (c2 via
+// i2) in the deterministic route order: smaller delay first, ties to the
+// smaller neighbour index. This is exactly the order the ascending-index
+// recompute loop realises with its strict-less updates.
+func beats(c1 float64, i1 int, c2 float64, i2 int) bool {
+	return c1 < c2 || (c1 == c2 && i1 < i2)
+}
+
+// markDest queues row d for a single-row rescan at the next read.
+func (t *Table) markDest(d int) {
+	if !t.dirtyDest[d] {
+		t.dirtyDest[d] = true
+		t.dirtyList = append(t.dirtyList, d)
+	}
+}
+
+// cand returns the overall delay of routing to d via nbr with the current
+// link delays and stored vectors — the same expression the recompute loop
+// evaluates, so delta updates and full rescans agree bit for bit.
+func (t *Table) cand(d, nbr int) float64 {
+	ld := t.linkDelay[nbr]
+	if ld >= Infinite {
+		return Infinite
+	}
+	c := Infinite
+	if d == nbr {
+		c = ld
+	}
+	if vec := t.vectors[nbr]; vec != nil && vec[d] < Infinite {
+		if v := ld + vec[d]; v < c {
+			c = v
+		}
+	}
+	return c
+}
+
+// candChanged folds a changed candidate (dest d via neighbour nbr) into
+// row d. The row invariant — next is the (delay, index)-minimum over all
+// neighbours, backup the minimum among the rest — makes every improving or
+// neutral change O(1); only a worsening of the current best or backup
+// needs the row rescanned, because the third-best candidate is not
+// tracked.
+func (t *Table) candChanged(d, nbr int) {
+	if d == t.Owner || t.dirtyAll || t.dirtyDest[d] {
+		return
+	}
+	t.candidateIs(d, nbr, t.cand(d, nbr))
+}
+
+// candidateIs folds the already-evaluated candidate c == cand(d, nbr) into
+// row d — the bulk folds (SetLinkDelay, storeVector) hoist the link delay
+// and vector loads out of their loops and evaluate the candidate inline.
+// Callers must have excluded the owner row and dirty rows.
+func (t *Table) candidateIs(d, nbr int, c float64) {
+	switch {
+	case t.next[d] == nbr:
+		switch {
+		case c < t.delay[d]:
+			// The best improved: it remains the strict minimum.
+			t.delay[d] = c
+			t.gen++
+		case c == t.delay[d]:
+			// No numeric change.
+		default:
+			// The best worsened; the backup or a third candidate may
+			// overtake it.
+			t.markDest(d)
+		}
+	case t.backup[d] == nbr:
+		switch {
+		case beats(c, nbr, t.delay[d], t.next[d]):
+			// The backup overtook the best; the old best is the minimum of
+			// the remaining candidates, so it becomes the backup.
+			t.next[d], t.delay[d], t.backup[d], t.bakDelay[d] = nbr, c, t.next[d], t.delay[d]
+			t.gen++
+		case c < t.bakDelay[d]:
+			t.bakDelay[d] = c
+			t.gen++
+		case c == t.bakDelay[d]:
+			// No numeric change.
+		default:
+			// The backup worsened; an untracked third candidate may beat it.
+			t.markDest(d)
+		}
+	default:
+		// nbr was neither best nor backup, so its old candidate lost to the
+		// backup; only an improvement can matter, and an improvement never
+		// demands a rescan.
+		if c >= Infinite {
+			return
+		}
+		switch {
+		case t.next[d] < 0:
+			t.next[d], t.delay[d] = nbr, c
+			t.reachable++
+			t.gen++
+		case beats(c, nbr, t.delay[d], t.next[d]):
+			t.backup[d], t.bakDelay[d] = t.next[d], t.delay[d]
+			t.next[d], t.delay[d] = nbr, c
+			t.gen++
+		case t.backup[d] < 0 || beats(c, nbr, t.bakDelay[d], t.backup[d]):
+			t.backup[d], t.bakDelay[d] = nbr, c
+			t.gen++
+		}
+	}
+}
+
 // SetLinkDelay updates the local estimate of the delay to a neighbouring
 // landmark (derived from the link's bandwidth). An Infinite delay removes
-// the neighbour from consideration.
+// the neighbour from consideration. Every row's candidate via nbr changes,
+// so the update folds the delta into each row — O(size) with an O(1) body,
+// against the O(size × neighbours) full recompute it replaces.
 func (t *Table) SetLinkDelay(nbr int, delay float64) {
 	if nbr == t.Owner || nbr < 0 || nbr >= t.size {
 		return
 	}
 	if t.linkDelay[nbr] == delay {
-		return // no change, no recomputation
+		return // no change, no work
 	}
 	had := t.linkDelay[nbr] < Infinite
 	t.linkDelay[nbr] = delay
@@ -88,7 +230,29 @@ func (t *Table) SetLinkDelay(nbr int, delay float64) {
 			}
 		}
 	}
-	t.dirty = true
+	if t.dirtyAll {
+		return // every row is rebuilt at the next read anyway
+	}
+	// The fold inlines cand(d, nbr) with the link delay and vector loads
+	// hoisted: candidate = min(ld [d == nbr], ld + vec[d]).
+	vec := t.vectors[nbr]
+	for d := 0; d < t.size; d++ {
+		if d == t.Owner || t.dirtyDest[d] {
+			continue
+		}
+		c := Infinite
+		if delay < Infinite {
+			if d == nbr {
+				c = delay
+			}
+			if vec != nil && vec[d] < Infinite {
+				if v := delay + vec[d]; v < c {
+					c = v
+				}
+			}
+		}
+		t.candidateIs(d, nbr, c)
+	}
 }
 
 // LinkDelay returns the local link delay to nbr (Infinite when unknown).
@@ -99,8 +263,15 @@ func (t *Table) LinkDelay(nbr int) float64 {
 	return t.linkDelay[nbr]
 }
 
-// Neighbors returns the landmarks with a finite local link delay.
+// Neighbors returns the landmarks with a finite local link delay as a
+// fresh slice. Hot-path callers should use AppendNeighbors.
 func (t *Table) Neighbors() []int { return append([]int(nil), t.nbrs...) }
+
+// AppendNeighbors appends the landmarks with a finite local link delay to
+// dst, in index order, and returns it — the zero-copy variant of Neighbors
+// for callers with a reusable scratch buffer. The appended values are a
+// snapshot; they are not invalidated by later mutations.
+func (t *Table) AppendNeighbors(dst []int) []int { return append(dst, t.nbrs...) }
 
 // MergeVector installs the distance vector advertised by a neighbouring
 // landmark — vec[d] is the neighbour's overall delay to d (Infinite =
@@ -111,7 +282,7 @@ func (t *Table) MergeVector(nbr int, vec []float64, seq int) bool {
 	if nbr == t.Owner || nbr < 0 || nbr >= t.size || len(vec) != t.size {
 		return false
 	}
-	if last, ok := t.vectorSeq[nbr]; ok && seq <= last {
+	if t.vectors[nbr] != nil && seq <= t.vectorSeq[nbr] {
 		return false
 	}
 	t.storeVector(nbr, vec, seq)
@@ -127,8 +298,8 @@ func (t *Table) MergeVectorForced(nbr int, vec []float64, seq int) bool {
 	if nbr == t.Owner || nbr < 0 || nbr >= t.size || len(vec) != t.size {
 		return false
 	}
-	if last, ok := t.vectorSeq[nbr]; ok && seq <= last {
-		seq = last + 1
+	if t.vectors[nbr] != nil && seq <= t.vectorSeq[nbr] {
+		seq = t.vectorSeq[nbr] + 1
 	}
 	t.storeVector(nbr, vec, seq)
 	return true
@@ -144,35 +315,153 @@ func (t *Table) storeVector(nbr int, vec []float64, seq int) {
 		t.vectors[nbr] = dst
 	}
 	// In steady state most arriving advertisements repeat the stored
-	// vector; detecting that here keeps the seq bookkeeping without
-	// forcing a route recomputation on the next lookup.
-	changed := false
+	// vector; only the entries that actually moved are folded into their
+	// rows, with the link delay hoisted out of the loop.
+	ld := t.linkDelay[nbr]
 	for i, v := range vec {
 		if i == t.Owner {
 			v = Infinite // never route to ourselves via a neighbour
 		}
 		if dst[i] != v {
 			dst[i] = v
-			changed = true
+			if t.dirtyAll || t.dirtyDest[i] || i == t.Owner {
+				continue
+			}
+			c := Infinite
+			if ld < Infinite {
+				if i == nbr {
+					c = ld
+				}
+				if v < Infinite {
+					if w := ld + v; w < c {
+						c = w
+					}
+				}
+			}
+			t.candidateIs(i, nbr, c)
 		}
 	}
 	t.vectorSeq[nbr] = seq
-	if changed {
-		t.dirty = true
+}
+
+// refresh applies the pending single-row rescans (and, after a structural
+// reset, the full recompute). Reads that return routed state call it
+// first.
+func (t *Table) refresh() {
+	if t.dirtyAll {
+		t.dirtyAll = false
+		for _, d := range t.dirtyList {
+			t.dirtyDest[d] = false
+		}
+		t.dirtyList = t.dirtyList[:0]
+		t.gen++
+		t.recompute()
+		return
+	}
+	if len(t.dirtyList) > 0 {
+		t.gen++
+		if len(t.dirtyList) == 1 {
+			d := t.dirtyList[0]
+			t.dirtyDest[d] = false
+			t.recomputeDest(d)
+		} else {
+			t.recomputeRows(t.dirtyList)
+			for _, d := range t.dirtyList {
+				t.dirtyDest[d] = false
+			}
+		}
+		t.dirtyList = t.dirtyList[:0]
 	}
 }
 
-// refresh recomputes the routes when mutations are pending. Mutators only
-// mark the table dirty, so a burst of link-delay and vector updates costs
-// one recomputation.
-func (t *Table) refresh() {
-	if t.dirty {
-		t.dirty = false
-		t.recompute()
+// recomputeRows rebuilds the given rows in one column-wise sweep: the
+// outer loop walks neighbours in ascending index order — the same fold
+// order recomputeDest realises per row, so each row's result is
+// bit-identical — with the link delay and vector loads hoisted, so a
+// batch of dirty rows costs one pass over the neighbour set instead of
+// one scan per row.
+func (t *Table) recomputeRows(rows []int) {
+	for _, d := range rows {
+		if t.next[d] >= 0 {
+			t.reachable--
+		}
+		t.next[d], t.delay[d] = -1, Infinite
+		t.backup[d], t.bakDelay[d] = -1, Infinite
+	}
+	for _, nbr := range t.nbrs {
+		ld := t.linkDelay[nbr]
+		vec := t.vectors[nbr]
+		for _, d := range rows {
+			if d == t.Owner {
+				continue
+			}
+			c := Infinite
+			if d == nbr {
+				c = ld
+			}
+			if vec != nil && vec[d] < Infinite {
+				if v := ld + vec[d]; v < c {
+					c = v
+				}
+			}
+			if c >= Infinite {
+				continue
+			}
+			switch {
+			case c < t.delay[d]:
+				if t.next[d] >= 0 {
+					t.backup[d], t.bakDelay[d] = t.next[d], t.delay[d]
+				}
+				t.next[d], t.delay[d] = nbr, c
+			case nbr != t.next[d] && c < t.bakDelay[d]:
+				t.backup[d], t.bakDelay[d] = nbr, c
+			}
+		}
+	}
+	for _, d := range rows {
+		if t.next[d] >= 0 {
+			t.reachable++
+		}
+	}
+}
+
+// recomputeDest rebuilds row d from the stored link delays and vectors —
+// the recompute inner loop restricted to one destination, so a rescanned
+// row is bit-identical to a full recomputation's.
+func (t *Table) recomputeDest(d int) {
+	wasReachable := t.next[d] >= 0
+	next, delay, backup, bakDelay := -1, Infinite, -1, Infinite
+	if d != t.Owner {
+		for _, nbr := range t.nbrs {
+			c := t.cand(d, nbr)
+			if c >= Infinite {
+				continue
+			}
+			switch {
+			case c < delay:
+				if next >= 0 {
+					backup, bakDelay = next, delay
+				}
+				next, delay = nbr, c
+			case nbr != next && c < bakDelay:
+				backup, bakDelay = nbr, c
+			}
+		}
+	}
+	t.next[d], t.delay[d], t.backup[d], t.bakDelay[d] = next, delay, backup, bakDelay
+	if wasReachable != (next >= 0) {
+		if next >= 0 {
+			t.reachable++
+		} else {
+			t.reachable--
+		}
 	}
 }
 
 // recompute rebuilds every route from the stored link delays and vectors.
+// It no longer runs on the maintenance path (candChanged and recomputeDest
+// carry the deltas); it remains as the dirtyAll fallback and as CheckFull's
+// reference implementation.
 func (t *Table) recompute() {
 	for d := 0; d < t.size; d++ {
 		t.next[d] = -1
@@ -214,6 +503,36 @@ func (t *Table) recompute() {
 			}
 		}
 	}
+}
+
+// CheckFull is the incremental-vs-full equivalence cross-check: it applies
+// any pending rescans, rebuilds every route from scratch with the
+// reference recompute, and reports the first divergence between the
+// incrementally maintained state and the rebuilt one. On success the table
+// is unchanged (the rebuild reproduces the same values); the property
+// tests and the validation layer's Table hook call it after randomized
+// mutation sequences.
+func (t *Table) CheckFull() error {
+	t.refresh()
+	next := append([]int(nil), t.next...)
+	delay := append([]float64(nil), t.delay...)
+	backup := append([]int(nil), t.backup...)
+	bakDelay := append([]float64(nil), t.bakDelay...)
+	reachable := t.reachable
+	t.recompute()
+	for d := 0; d < t.size; d++ {
+		if next[d] != t.next[d] || delay[d] != t.delay[d] ||
+			backup[d] != t.backup[d] || bakDelay[d] != t.bakDelay[d] {
+			return fmt.Errorf("routing: table %d dest %d diverged: incremental (next %d delay %g backup %d bakDelay %g) vs full (next %d delay %g backup %d bakDelay %g)",
+				t.Owner, d, next[d], delay[d], backup[d], bakDelay[d],
+				t.next[d], t.delay[d], t.backup[d], t.bakDelay[d])
+		}
+	}
+	if reachable != t.reachable {
+		return fmt.Errorf("routing: table %d reachable count diverged: incremental %d vs full %d",
+			t.Owner, reachable, t.reachable)
+	}
+	return nil
 }
 
 // Lookup returns the entry toward dest. ok is false when dest is unknown.
@@ -313,24 +632,28 @@ func NextHopChanges(prev, cur *Table) int {
 
 // Snapshot returns a deep copy of the table (used for stability
 // measurements and warm-state forking). It is a pure read: pending
-// mutations are carried over via the dirty flag rather than refreshed
-// here, so concurrent Snapshots of one frozen table are race-free.
+// single-row rescans are carried over via the dirty set rather than
+// refreshed here, so concurrent Snapshots of one frozen table are
+// race-free.
 func (t *Table) Snapshot() *Table {
 	cp := NewTable(t.Owner, t.size)
 	copy(cp.linkDelay, t.linkDelay)
 	cp.nbrs = append([]int(nil), t.nbrs...)
 	for n, vec := range t.vectors {
-		cp.vectors[n] = append([]float64(nil), vec...)
+		if vec != nil {
+			cp.vectors[n] = append([]float64(nil), vec...)
+		}
 	}
-	for n, s := range t.vectorSeq {
-		cp.vectorSeq[n] = s
-	}
+	copy(cp.vectorSeq, t.vectorSeq)
 	copy(cp.next, t.next)
 	copy(cp.delay, t.delay)
 	copy(cp.backup, t.backup)
 	copy(cp.bakDelay, t.bakDelay)
 	cp.reachable = t.reachable
-	cp.dirty = t.dirty
+	cp.dirtyAll = t.dirtyAll
+	copy(cp.dirtyDest, t.dirtyDest)
+	cp.dirtyList = append([]int(nil), t.dirtyList...)
+	cp.gen = t.gen
 	return cp
 }
 

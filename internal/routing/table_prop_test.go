@@ -1,0 +1,150 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The incremental table maintains rows by folding candidate deltas in
+// place (candChanged) and rescanning only rows whose best or backup
+// worsened. These property tests drive randomized mutation sequences —
+// bandwidth-driven link-delay changes, vector merges (fresh, stale and
+// forced), neighbour removals — and assert after every step that the
+// incrementally maintained Entry state is bit-identical to the reference
+// full recompute (CheckFull), and that a shadow table replaying the same
+// mutations answers every Lookup identically.
+
+// randDelay draws a link or advertised delay: mostly small finite values
+// with deliberate ties (coarse grid) so the (delay, index) tie-break paths
+// are exercised, sometimes Infinite.
+func randDelay(rng *rand.Rand) float64 {
+	switch rng.Intn(10) {
+	case 0:
+		return Infinite
+	case 1, 2:
+		return float64(rng.Intn(4) + 1) // dense tie range
+	default:
+		return float64(rng.Intn(50)+1) * 0.5
+	}
+}
+
+func randVector(rng *rand.Rand, size int) []float64 {
+	vec := make([]float64, size)
+	for i := range vec {
+		vec[i] = randDelay(rng)
+	}
+	return vec
+}
+
+// TestTableIncrementalEquivalence drives one table with a random mutation
+// sequence and cross-checks the incremental state against the full
+// recompute after every mutation.
+func TestTableIncrementalEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(12) + 3
+		owner := rng.Intn(size)
+		tb := NewTable(owner, size)
+		seq := 0
+		for step := 0; step < 400; step++ {
+			nbr := rng.Intn(size)
+			switch rng.Intn(5) {
+			case 0, 1: // bandwidth change -> link delay update
+				tb.SetLinkDelay(nbr, randDelay(rng))
+			case 2: // fresh or stale advertisement
+				seq++
+				s := seq
+				if rng.Intn(4) == 0 {
+					s = rng.Intn(seq + 1) // possibly stale
+				}
+				tb.MergeVector(nbr, randVector(rng, size), s)
+			case 3: // forced re-advertisement (loop correction)
+				tb.MergeVectorForced(nbr, randVector(rng, size), rng.Intn(seq+1))
+			case 4: // link loss
+				tb.SetLinkDelay(nbr, Infinite)
+			}
+			if rng.Intn(4) == 0 { // interleave reads so rescans apply mid-sequence
+				tb.Delay(rng.Intn(size))
+			}
+			if err := tb.CheckFull(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+		}
+	}
+}
+
+// TestTableIncrementalMatchesReplay replays one mutation sequence into two
+// tables, reading (and thereby refreshing) them on different schedules,
+// and requires identical Lookup answers for every destination at random
+// checkpoints — deferred rescans must never change what a reader observes.
+func TestTableIncrementalMatchesReplay(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		size := rng.Intn(10) + 4
+		owner := 0
+		a := NewTable(owner, size)
+		b := NewTable(owner, size)
+		seq := 0
+		for step := 0; step < 300; step++ {
+			nbr := rng.Intn(size)
+			switch rng.Intn(4) {
+			case 0, 1:
+				d := randDelay(rng)
+				a.SetLinkDelay(nbr, d)
+				b.SetLinkDelay(nbr, d)
+			case 2:
+				seq++
+				vec := randVector(rng, size)
+				a.MergeVector(nbr, vec, seq)
+				b.MergeVector(nbr, vec, seq)
+			case 3:
+				vec := randVector(rng, size)
+				s := rng.Intn(seq + 1)
+				a.MergeVectorForced(nbr, vec, s)
+				b.MergeVectorForced(nbr, vec, s)
+			}
+			// a is read eagerly every step; b only at checkpoints, so its
+			// dirty set accumulates across mutations before it rescans.
+			a.Delay(rng.Intn(size))
+			if rng.Intn(8) == 0 {
+				for d := 0; d < size; d++ {
+					ea, oka := a.Lookup(d)
+					eb, okb := b.Lookup(d)
+					if oka != okb || ea != eb {
+						t.Fatalf("seed %d step %d dest %d: eager %+v (%v) vs deferred %+v (%v)",
+							seed, step, d, ea, oka, eb, okb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTableSnapshotCarriesDirtyState snapshots a table mid-sequence (with
+// rescans pending) and checks the copy converges to the same state.
+func TestTableSnapshotCarriesDirtyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	size := 8
+	tb := NewTable(2, size)
+	seq := 0
+	for step := 0; step < 100; step++ {
+		nbr := rng.Intn(size)
+		if rng.Intn(2) == 0 {
+			tb.SetLinkDelay(nbr, randDelay(rng))
+		} else {
+			seq++
+			tb.MergeVector(nbr, randVector(rng, size), seq)
+		}
+		cp := tb.Snapshot()
+		for d := 0; d < size; d++ {
+			eo, oko := tb.Lookup(d)
+			ec, okc := cp.Lookup(d)
+			if oko != okc || eo != ec {
+				t.Fatalf("step %d dest %d: original %+v (%v) vs snapshot %+v (%v)", step, d, eo, oko, ec, okc)
+			}
+		}
+		if err := cp.CheckFull(); err != nil {
+			t.Fatalf("step %d snapshot: %v", step, err)
+		}
+	}
+}

@@ -115,21 +115,31 @@ func chargeBudget(c *Contact) bool {
 	return true
 }
 
-// expireFromBuffer drops every expired packet from b. The engine-owned
-// scratch slice is reused across calls, so the common no-expiry case costs
-// one pass and no allocation.
+// expireFromBuffer drops every expired packet from b. The buffer's
+// min-expiry watermark (a lower bound on every stored packet's TTL
+// deadline) lets the common case — no packet can be expired yet — return
+// without touching the packets at all; a sweep retightens the bound. The
+// engine-owned scratch slice is reused across calls, so even a scanning
+// sweep allocates nothing.
 func (ctx *Context) expireFromBuffer(b *Buffer) {
 	now := ctx.engine.now
+	if b.live == 0 || now < b.minExpiry {
+		return
+	}
 	expired := ctx.engine.expireScratch[:0]
+	min := maxTime
 	for _, p := range b.Packets() {
 		if p.Expired(now) {
 			expired = append(expired, p)
+		} else if p.Expiry < min {
+			min = p.Expiry
 		}
 	}
 	for _, p := range expired {
 		b.Remove(p)
 		ctx.dropPacket(p, metrics.DropTTL)
 	}
+	b.minExpiry = min
 	ctx.engine.expireScratch = expired[:0]
 }
 
@@ -137,7 +147,7 @@ func (ctx *Context) dropPacket(p *Packet, r metrics.DropReason) {
 	if p.Done() {
 		return
 	}
-	p.dropped = true
+	p.state |= stateDropped
 	ctx.Probe.Dropped(ctx.engine.now, p.ID, r)
 	if ck := ctx.Check; ck != nil {
 		ck.Dropped(ctx.engine.now, p, r)
@@ -152,7 +162,7 @@ func (ctx *Context) deliverPacket(p *Packet, at int) {
 	if p.Done() {
 		return
 	}
-	p.delivered = true
+	p.state |= stateDelivered
 	ctx.Probe.Delivered(ctx.engine.now, p.ID, at, ctx.engine.now-p.Created)
 	if ck := ctx.Check; ck != nil {
 		ck.Delivered(ctx.engine.now, p, at)
@@ -307,7 +317,21 @@ type Engine struct {
 	present       [][]*Node
 	nextUnit      int
 	expireScratch []*Packet
+	// pathArena is the shared backing array packet Path slices are carved
+	// from in fixed-capacity pieces at generation time, replacing one small
+	// allocation (plus its append-growth steps) per packet with one arena
+	// allocation per pathArenaChunk packets. A path outgrowing its piece
+	// falls back to ordinary append growth.
+	pathArena []int
 }
+
+// pathPieceCap is the Path capacity pre-carved per packet: routes longer
+// than 8 station hops are loop-dropped long before in practice. chunk is
+// the number of pieces per arena block.
+const (
+	pathPieceCap   = 8
+	pathArenaChunk = 256
+)
 
 // newEngineCore assembles the per-run state shared by the classic and
 // sharded constructors: context, node and station populations, presence
@@ -492,6 +516,13 @@ func (e *Engine) apply(ev event) {
 			return
 		}
 		e.ctx.Probe.Queued(e.now, p.ID, p.Src, st.Buffer.Len())
+		if p.Path == nil {
+			if len(e.pathArena) == 0 {
+				e.pathArena = make([]int, pathPieceCap*pathArenaChunk)
+			}
+			p.Path = e.pathArena[:0:pathPieceCap]
+			e.pathArena = e.pathArena[pathPieceCap:]
+		}
 		p.Path = append(p.Path, p.Src)
 		e.router.OnGenerate(e.ctx, p)
 	case evUnit:

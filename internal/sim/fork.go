@@ -187,10 +187,12 @@ func Fork(s *Snapshot, w *Workload, seed int64) *Engine {
 }
 
 // clone returns a buffer with the same capacity and contents. Snapshot
-// buffers are empty by contract, so the packet pointers (shared, mutable)
-// are never actually carried across a fork.
+// buffers are empty by contract — the packet pointers (shared, mutable,
+// and carrying a single-buffer pos slot) could not cross a fork — so only
+// the accounting fields are really carried; the defensive content copy
+// remains for robustness.
 func (b *Buffer) clone() *Buffer {
-	cp := &Buffer{Capacity: b.Capacity, used: b.used}
+	cp := &Buffer{Capacity: b.Capacity, used: b.used, live: b.live, minExpiry: b.minExpiry}
 	if len(b.packets) > 0 {
 		cp.packets = append([]*Packet(nil), b.packets...)
 	}

@@ -58,7 +58,7 @@ func TestUploadDoesNotDeliverNodePacketsAtLandmark(t *testing.T) {
 	p := &Packet{ID: 0, Src: 0, Dst: 1, DstNode: 99, Size: 1, Created: 0, Expiry: 1000, NextHop: -1}
 	eng.Context().Nodes[0].Buffer.Add(p)
 	eng.Run()
-	if p.delivered {
+	if p.Delivered() {
 		t.Error("node-destined packet delivered to a landmark")
 	}
 	if eng.Context().Stations[1].Buffer.Len() == 1 {

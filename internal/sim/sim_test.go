@@ -174,7 +174,7 @@ func TestEngineDeliversViaCarrier(t *testing.T) {
 	p := &Packet{ID: 0, Src: 0, Dst: 1, DstNode: -1, Size: 1, Created: 50, Expiry: 10050, NextHop: -1}
 	eng.ctx.Stations[0].Buffer.Add(p)
 	res := eng.Run()
-	if !p.delivered {
+	if !p.Delivered() {
 		t.Fatal("packet not delivered")
 	}
 	_ = res
@@ -192,10 +192,10 @@ func TestEngineTTLExpiry(t *testing.T) {
 	p := &Packet{ID: 0, Src: 0, Dst: 1, DstNode: -1, Size: 1, Created: 0, Expiry: 10, NextHop: -1}
 	eng.ctx.Stations[0].Buffer.Add(p)
 	eng.Run()
-	if p.delivered {
+	if p.Delivered() {
 		t.Fatal("expired packet delivered")
 	}
-	if !p.dropped {
+	if !p.Dropped() {
 		t.Fatal("expired packet not dropped")
 	}
 }

@@ -17,15 +17,16 @@ import (
 // Packet is a single-copy data packet routed between landmarks
 // (Section III-A.2). Routers annotate NextHop/ExpDelay (DTN-FLOW) and Path
 // (loop detection); other routers may ignore them.
+//
+// The fields are laid out data-oriented: everything a forwarding pass
+// touches per candidate — expiry, size, routing annotations, terminal
+// state — sits first, so a scan over a buffer stays within the leading
+// bytes of each packet; metadata read only at generation, delivery and
+// telemetry time follows.
 type Packet struct {
-	ID      int
-	Src     int // source landmark
-	Dst     int // destination landmark
-	DstNode int // destination node for node-routing mode; -1 otherwise
-	Size    int64
-	Created trace.Time
-	Expiry  trace.Time // Created + TTL
-
+	// Hot: consulted on every forwarding-pass candidate scan.
+	Expiry trace.Time // Created + TTL
+	Size   int64
 	// NextHop is the landmark the current carrier is expected to bring
 	// the packet to; -1 when unset.
 	NextHop int
@@ -33,13 +34,25 @@ type Packet struct {
 	// that last forwarded the packet to its destination, inserted per
 	// step 3 of the routing algorithm. Infinite when unset.
 	ExpDelay float64
+	ID       int
+	Dst      int   // destination landmark
+	pos      int   // slot index in the holding Buffer; -1 when unbuffered
+	state    uint8 // stateDelivered | stateDropped
+
+	// Cold: read at generation/terminal/telemetry time only.
+	Src     int // source landmark
+	DstNode int // destination node for node-routing mode; -1 otherwise
+	Created trace.Time
 	// Path records the landmarks whose stations have held the packet, in
 	// order, for routing-loop detection (Section IV-E.2).
 	Path []int
-
-	delivered bool
-	dropped   bool
 }
+
+// Packet terminal-state bits.
+const (
+	stateDelivered uint8 = 1 << iota
+	stateDropped
+)
 
 // Remaining returns the remaining TTL at time now (can be negative).
 func (p *Packet) Remaining(now trace.Time) trace.Time { return p.Expiry - now }
@@ -48,7 +61,13 @@ func (p *Packet) Remaining(now trace.Time) trace.Time { return p.Expiry - now }
 func (p *Packet) Expired(now trace.Time) bool { return now >= p.Expiry }
 
 // Done reports whether the packet has left the system.
-func (p *Packet) Done() bool { return p.delivered || p.dropped }
+func (p *Packet) Done() bool { return p.state != 0 }
+
+// Delivered reports whether the packet reached its destination.
+func (p *Packet) Delivered() bool { return p.state&stateDelivered != 0 }
+
+// Dropped reports whether the packet was dropped.
+func (p *Packet) Dropped() bool { return p.state&stateDropped != 0 }
 
 func (p *Packet) String() string {
 	return fmt.Sprintf("pkt#%d %d->%d", p.ID, p.Src, p.Dst)
@@ -56,10 +75,21 @@ func (p *Packet) String() string {
 
 // Buffer is an ordered packet store with a byte capacity. Stations use an
 // unlimited buffer (capacity <= 0); nodes use their memory size.
+//
+// Internally the store is a slot array: each packet records its slot in
+// Packet.pos, so Remove is O(1) — it nils the slot and leaves a tombstone.
+// Packets compacts lazily, preserving insertion order; since a packet is
+// held by at most one buffer at a time (single-copy routing), the pos field
+// is unambiguous.
 type Buffer struct {
 	Capacity int64 // bytes; <= 0 means unlimited
 	used     int64
-	packets  []*Packet
+	packets  []*Packet // slot array; nil slots are tombstones
+	live     int       // packets minus tombstones
+	// minExpiry is a lower bound on the Expiry of every stored packet
+	// (loose after removals, tightened by expiry sweeps). It lets
+	// expireFromBuffer skip buffers that cannot hold an expired packet.
+	minExpiry trace.Time
 }
 
 // NewBuffer returns a buffer with the given capacity.
@@ -77,7 +107,7 @@ func (b *Buffer) Free() int64 {
 }
 
 // Len returns the number of stored packets.
-func (b *Buffer) Len() int { return len(b.packets) }
+func (b *Buffer) Len() int { return b.live }
 
 // Fits reports whether a packet of the given size fits.
 func (b *Buffer) Fits(size int64) bool { return b.Capacity <= 0 || b.used+size <= b.Capacity }
@@ -87,26 +117,54 @@ func (b *Buffer) Add(p *Packet) bool {
 	if !b.Fits(p.Size) {
 		return false
 	}
+	p.pos = len(b.packets)
 	b.packets = append(b.packets, p)
 	b.used += p.Size
+	b.live++
+	if b.live == 1 || p.Expiry < b.minExpiry {
+		b.minExpiry = p.Expiry
+	}
 	return true
 }
 
 // Remove deletes p from the buffer, reporting whether it was present.
 func (b *Buffer) Remove(p *Packet) bool {
-	for i, q := range b.packets {
-		if q == p {
-			b.packets = append(b.packets[:i], b.packets[i+1:]...)
-			b.used -= p.Size
-			return true
-		}
+	i := p.pos
+	if i < 0 || i >= len(b.packets) || b.packets[i] != p {
+		return false
 	}
-	return false
+	b.packets[i] = nil
+	p.pos = -1
+	b.used -= p.Size
+	b.live--
+	return true
 }
 
 // Packets returns the stored packets in insertion order. The caller must
 // not mutate the returned slice; it is invalidated by Add/Remove.
-func (b *Buffer) Packets() []*Packet { return b.packets }
+func (b *Buffer) Packets() []*Packet {
+	if b.live != len(b.packets) {
+		b.compact()
+	}
+	return b.packets
+}
+
+// compact squeezes tombstones out of the slot array, preserving insertion
+// order and rewriting each survivor's pos.
+func (b *Buffer) compact() {
+	w := 0
+	for _, p := range b.packets {
+		if p != nil {
+			p.pos = w
+			b.packets[w] = p
+			w++
+		}
+	}
+	for i := w; i < len(b.packets); i++ {
+		b.packets[i] = nil
+	}
+	b.packets = b.packets[:w]
+}
 
 // Node is one mobile device.
 type Node struct {

@@ -297,6 +297,13 @@ func (c *Checker) Table(now trace.Time, lm int, t *routing.Table) {
 			}
 		}
 	}
+	// Incremental-vs-full equivalence: the delta-maintained routes must
+	// match a from-scratch recompute exactly. This is what makes the
+	// fuzzer exercise the delta path — every randomized scenario
+	// cross-checks the incremental table at every scan point.
+	if err := t.CheckFull(); err != nil {
+		c.vs.add(now, "dv-divergence", "%v", err)
+	}
 }
 
 // Scan implements sim.Checker: the full-state sweep at every measurement
