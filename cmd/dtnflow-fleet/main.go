@@ -1,0 +1,208 @@
+// Command dtnflow-fleet runs a sweep as a distributed fleet: a
+// coordinator decomposes the (scenario × method × seed) — or, with
+// -mults, (scenario × method × mult) — sweep into independent cells,
+// schedules them onto worker processes over localhost TCP, and assembles
+// the results deterministically: the output is byte-identical for any
+// worker count, including zero (in-process execution). With -store,
+// results are cached content-addressed by run fingerprint, so repeating
+// a sweep is pure cache hits and adding cells re-runs only the new ones.
+//
+// Usage:
+//
+//	dtnflow-fleet                                  # Tiny sweep, 2 spawned workers
+//	dtnflow-fleet -workers 0                       # same cells, in-process
+//	dtnflow-fleet -store results/fleet-store       # warm the result cache
+//	dtnflow-fleet -scenarios DART -methods DTN-FLOW,PROPHET -seeds 5
+//	dtnflow-fleet -mults 1,2,4                     # scale-tier cells (sharded engine)
+//	dtnflow-fleet -json > results.json             # index-aligned cell results
+//	dtnflow-fleet -join 127.0.0.1:9999             # run as a worker (internal)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/fleet"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		join      = flag.String("join", "", "worker mode: dial this coordinator and serve cells")
+		name      = flag.String("name", "", "worker name (default pid)")
+		scenarios = flag.String("scenarios", "DART,DNET", "comma-separated scenarios")
+		scaleName = flag.String("scale", "tiny", "trace scale: tiny, quick or full")
+		methods   = flag.String("methods", "all", "comma-separated methods, or all")
+		seeds     = flag.Int("seeds", 1, "seeds per (scenario, method) cell group")
+		rate      = flag.Float64("rate", 0, "packets/day network-wide (0 = scenario default)")
+		mults     = flag.String("mults", "", "scale-tier population multipliers (switches to sharded-engine cells)")
+		seed      = flag.Int64("seed", 1, "simulation seed for scale-tier cells")
+		workers   = flag.Int("workers", 2, "worker processes to spawn (0 = in-process)")
+		storeDir  = flag.String("store", "", "content-addressed result store directory (empty = no cache)")
+		reportTo  = flag.String("report", "", "write the coordinator report JSON to this file")
+		asJSON    = flag.Bool("json", false, "emit the assembled cell results as JSON on stdout")
+		quiet     = flag.Bool("q", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+
+	if *join != "" {
+		wname := *name
+		if wname == "" {
+			wname = fmt.Sprintf("pid%d", os.Getpid())
+		}
+		w := &fleet.Worker{Addr: *join, Name: wname}
+		if err := w.Run(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cells, err := buildCells(*scenarios, *scaleName, *methods, *seeds, *rate, *mults, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := fleet.Options{}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+	if *storeDir != "" {
+		store, err := fleet.OpenStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Store = store
+	}
+
+	coord := fleet.NewCoordinator(opt)
+	var spawned *fleet.WorkerPool
+	if *workers > 0 {
+		addr, err := coord.Listen()
+		if err != nil {
+			fatal(err)
+		}
+		cmds, err := fleet.SpawnWorkers(*workers, []string{"-join", addr}, os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+		spawned = cmds
+	}
+
+	results, rep, runErr := coord.Run(cells)
+	if spawned != nil {
+		switch {
+		case runErr != nil:
+			spawned.Kill()
+		case rep.WorkersSeen == 0:
+			// The run completed (e.g. fully from the store) before any
+			// worker connected; the listener is closed now, so the spawned
+			// workers can never join — reap them instead of letting their
+			// dial retries fail noisily.
+			spawned.Kill()
+		default:
+			if err := spawned.Wait(); err != nil {
+				fmt.Fprintln(os.Stderr, "dtnflow-fleet:", err)
+			}
+		}
+	}
+	if *reportTo != "" {
+		if err := writeReport(*reportTo, rep); err != nil {
+			fatal(err)
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"dtnflow-fleet: %d cells in %.2fs (engine %s): %d cache hits, %d remote, %d local, %d retries, %d workers\n",
+		rep.Cells, rep.WallSec, sim.EngineVersion, rep.CacheHits, rep.RemoteCells, rep.LocalCells,
+		rep.Retries, rep.WorkersSeen)
+
+	if *asJSON {
+		emitJSON(os.Stdout, results)
+		return
+	}
+	for _, g := range experiment.MergeAverages(results) {
+		a := g.Averaged
+		fmt.Printf("%-6s %-9s seeds=%d  success %.4f ±%.4f  delay %.0fs ±%.0f  fwd %.0f  cost %.0f\n",
+			g.Scenario, g.Method, g.Seeds, a.Success, a.SuccessCI, a.Delay, a.DelayCI, a.Forwarding, a.TotalCost)
+	}
+}
+
+func buildCells(scenarios, scaleName, methods string, seeds int, rate float64, mults string, seed int64) ([]experiment.Cell, error) {
+	scs := splitList(scenarios)
+	if len(scs) == 0 {
+		return nil, fmt.Errorf("dtnflow-fleet: no scenarios")
+	}
+	ms := splitList(methods)
+	if len(ms) == 1 && ms[0] == "all" {
+		ms = experiment.MethodNames
+	}
+	for _, m := range ms {
+		if !experiment.ValidMethod(m) {
+			return nil, fmt.Errorf("dtnflow-fleet: unknown method %q", m)
+		}
+	}
+	var cells []experiment.Cell
+	if mults != "" {
+		var mu []int
+		for _, s := range splitList(mults) {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("dtnflow-fleet: bad multiplier %q", s)
+			}
+			mu = append(mu, v)
+		}
+		cells = experiment.ScaleCells(scs, ms, mu, seed)
+	} else {
+		scale, err := experiment.ParseScale(scaleName)
+		if err != nil {
+			return nil, err
+		}
+		cells = experiment.SweepCells(scs, scale, ms, seeds, rate)
+	}
+	for i, c := range cells {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("dtnflow-fleet: cell %d: %w", i, err)
+		}
+	}
+	return cells, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func writeReport(path string, rep fleet.Report) error {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+func emitJSON(w io.Writer, results []*experiment.CellResult) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtnflow-fleet:", err)
+	os.Exit(1)
+}

@@ -15,8 +15,14 @@
 //	dtnflow-scale -mult 32                    # 10,240-node DART
 //	dtnflow-scale -scenario DNET -mult 10
 //	dtnflow-scale -engine classic -mult 1     # materialized A/B reference
+//	dtnflow-scale -engine both                # sharded/classic equivalence check
 //	dtnflow-scale -workers 8 -epoch-days 0.5  # tuning knobs
 //	dtnflow-scale -json                       # machine-readable result
+//
+// With -engine both the command runs the spec on both engines and
+// byte-compares their summaries (via the canonical run fingerprint); a
+// mismatch prints the diverging fields and exits non-zero, so fleet
+// workers and CI can trust the exit code.
 package main
 
 import (
@@ -37,7 +43,7 @@ func main() {
 		scenario  = flag.String("scenario", "DART", "scaled scenario: DART or DNET")
 		mult      = flag.Int("mult", 1, "population multiplier (landmarks stay fixed)")
 		method    = flag.String("method", "DTN-FLOW", "routing method")
-		engine    = flag.String("engine", "sharded", "simulation path: sharded or classic")
+		engine    = flag.String("engine", "sharded", "simulation path: sharded, classic, or both (equivalence check)")
 		workers   = flag.Int("workers", 0, "shard/fill workers (0 = GOMAXPROCS)")
 		epochDays = flag.Float64("epoch-days", 1, "sharded merge epoch in days")
 		rate      = flag.Float64("rate", 0, "packets/day network-wide (0 = scenario default)")
@@ -74,8 +80,32 @@ func main() {
 		res, err = spec.RunSharded(*method, sh)
 	case "classic":
 		res, err = spec.RunClassic(*method)
+	case "both":
+		// Equivalence gate: the sharded engine is pinned bit-identical to
+		// the classic one; any divergence must fail the process, not just
+		// print — fleet workers and CI trust this exit code.
+		sh := sim.ShardConfig{
+			Workers: *workers,
+			Epoch:   trace.Time(*epochDays * float64(trace.Day)),
+		}
+		var classic *experiment.ScaleResult
+		res, err = spec.RunSharded(*method, sh)
+		if err == nil {
+			classic, err = spec.RunClassic(*method)
+		}
+		if err == nil {
+			sfp := experiment.SummaryFingerprint(res.Summary)
+			cfp := experiment.SummaryFingerprint(classic.Summary)
+			if sfp != cfp {
+				stopProf()
+				fmt.Fprintf(os.Stderr, "dtnflow-scale: sharded/classic equivalence FAILED for %s %d× %s:\n  sharded %+v\n  classic %+v\n",
+					spec.Scenario, spec.Mult, *method, res.Summary, classic.Summary)
+				os.Exit(1)
+			}
+			fmt.Printf("equivalence OK: sharded and classic summaries bit-identical (%s)\n", sfp[:12])
+		}
 	default:
-		err = fmt.Errorf("unknown engine %q (want sharded or classic)", *engine)
+		err = fmt.Errorf("unknown engine %q (want sharded, classic or both)", *engine)
 	}
 	if err != nil {
 		stopProf()

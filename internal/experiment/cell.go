@@ -1,0 +1,305 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// A Cell is one independently executable unit of a sweep: a fully
+// serializable run request (scenario × method × seed × scale) that a
+// fleet worker can execute in another process and that fingerprints to a
+// stable content-address. Cells deliberately carry no closures — a Run
+// with a Tweak, Setup hook, probe or checker binds the run to its own
+// process and cannot be a cell.
+type Cell struct {
+	// Kind selects the execution path: CellRun (default when empty) is a
+	// paper-tier run on the classic engine; CellScale is a scale-tier run
+	// on the streaming + sharded path.
+	Kind string `json:"kind,omitempty"`
+	// Scenario names the trace: DART, DNET or CAMPUS (run cells); DART or
+	// DNET (scale cells).
+	Scenario string `json:"scenario"`
+	// Scale is the trace size for run cells: full, quick or tiny. Scale
+	// cells ignore it (their base is always the Full generator config).
+	Scale string `json:"scale,omitempty"`
+	// Method is the routing method (MethodNames).
+	Method string `json:"method"`
+	// Seed seeds the workload schedule; <= 0 means 1.
+	Seed int64 `json:"seed"`
+	// Rate is packets/day network-wide; 0 means the scenario default.
+	Rate float64 `json:"rate,omitempty"`
+	// Mult is the population multiplier for scale cells; ignored for run
+	// cells.
+	Mult int `json:"mult,omitempty"`
+}
+
+// Cell kinds.
+const (
+	CellRun   = "run"
+	CellScale = "scale"
+)
+
+func (c Cell) kind() string {
+	if c.Kind == "" {
+		return CellRun
+	}
+	return c.Kind
+}
+
+func (c Cell) seed() int64 {
+	if c.Seed <= 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// String renders the cell for progress reports and errors.
+func (c Cell) String() string {
+	switch c.kind() {
+	case CellScale:
+		return fmt.Sprintf("scale:%s/%d×/%s seed=%d", c.Scenario, c.Mult, c.Method, c.seed())
+	default:
+		return fmt.Sprintf("%s/%s/%s seed=%d", c.Scenario, c.Scale, c.Method, c.seed())
+	}
+}
+
+// ValidMethod reports whether name is a known routing method.
+func ValidMethod(name string) bool {
+	for _, m := range MethodNames {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseScale maps a scale name to its Scale, rejecting unknown names
+// (cells travel over the wire, so unknown values must be errors, not
+// silent defaults).
+func ParseScale(name string) (Scale, error) {
+	switch Scale(name) {
+	case Full, Quick, Tiny:
+		return Scale(name), nil
+	default:
+		return "", fmt.Errorf("experiment: unknown scale %q (want full, quick or tiny)", name)
+	}
+}
+
+// ScenarioByName returns the memoized scenario for a wire name.
+func ScenarioByName(name string, scale Scale) (*Scenario, error) {
+	switch name {
+	case "DART":
+		return DARTScenario(scale), nil
+	case "DNET":
+		return DNETScenario(scale), nil
+	case "CAMPUS":
+		return CampusScenario(scale), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown scenario %q (want DART, DNET or CAMPUS)", name)
+	}
+}
+
+// Validate checks the cell without executing it; every execution and
+// fingerprinting path calls it first so a malformed cell fails the same
+// way everywhere.
+func (c Cell) Validate() error {
+	if !ValidMethod(c.Method) {
+		return fmt.Errorf("experiment: unknown method %q", c.Method)
+	}
+	switch c.kind() {
+	case CellRun:
+		if _, err := ParseScale(c.Scale); err != nil {
+			return err
+		}
+		if _, err := ScenarioByName(c.Scenario, Tiny); err != nil {
+			return err
+		}
+	case CellScale:
+		if _, err := (ScaleSpec{Scenario: c.Scenario}).params(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("experiment: unknown cell kind %q", c.Kind)
+	}
+	return nil
+}
+
+// Fingerprint returns the cell's canonical run fingerprint: the hex
+// SHA-256 over the canonical JSON of the normalized cell plus the engine
+// version. It is the content address of the cell's result — equal specs
+// hash equal regardless of field order or process, and any engine
+// behaviour change (sim.EngineVersion bump) invalidates every prior key.
+func (c Cell) Fingerprint() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	n := c
+	n.Kind = c.kind()
+	n.Seed = c.seed()
+	return FingerprintJSON(struct {
+		Engine string `json:"engine"`
+		Cell   Cell   `json:"cell"`
+	}{sim.EngineVersion, n})
+}
+
+// CellResult is a cell's deterministic outcome — exactly what the
+// content-addressed store holds. Timing and worker identity live in the
+// coordinator's report, never here: a repeated run must produce
+// byte-identical results.
+type CellResult struct {
+	Cell        Cell            `json:"cell"`
+	Fingerprint string          `json:"fingerprint"`
+	Summary     metrics.Summary `json:"summary"`
+	// Counters is the run's exact telemetry aggregate (run cells only;
+	// the sharded engine keeps its probe path dark).
+	Counters *telemetry.Counters `json:"counters,omitempty"`
+}
+
+// ExecuteCell runs one cell to completion in this process and returns
+// its deterministic result. Run cells attach a small telemetry recorder —
+// the probe path is verified result-neutral — so the coordinator's
+// progress report can surface per-cell counters without a replay.
+func ExecuteCell(c Cell) (*CellResult, error) {
+	fp, err := c.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	res := &CellResult{Cell: c, Fingerprint: fp}
+	switch c.kind() {
+	case CellRun:
+		scale, _ := ParseScale(c.Scale)
+		sc, err := ScenarioByName(c.Scenario, scale)
+		if err != nil {
+			return nil, err
+		}
+		rec := telemetry.NewRecorder(1 << 12)
+		res.Summary = Run{
+			Scenario: sc,
+			Router:   routerFactory(c.Method),
+			Rate:     c.Rate,
+			Seed:     c.seed(),
+			Probe:    telemetry.NewProbe(rec),
+		}.Execute()
+		counters := rec.Counters()
+		res.Counters = &counters
+	case CellScale:
+		sp := ScaleSpec{Scenario: c.Scenario, Mult: c.Mult, Rate: c.Rate, Seed: c.seed()}
+		sr, err := sp.RunSharded(c.Method, sim.ShardConfig{})
+		if err != nil {
+			return nil, err
+		}
+		res.Summary = sr.Summary
+	}
+	return res, nil
+}
+
+// SweepCells decomposes a (scenario × method × seed) sweep at one scale
+// into run cells, scenario-major then method-major then seed — the
+// canonical order every merge helper assumes.
+func SweepCells(scenarios []string, scale Scale, methods []string, seeds int, rate float64) []Cell {
+	if seeds < 1 {
+		seeds = 1
+	}
+	cells := make([]Cell, 0, len(scenarios)*len(methods)*seeds)
+	for _, sc := range scenarios {
+		for _, m := range methods {
+			for s := 1; s <= seeds; s++ {
+				cells = append(cells, Cell{
+					Kind: CellRun, Scenario: sc, Scale: string(scale),
+					Method: m, Seed: int64(s), Rate: rate,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// ScaleCells decomposes a scale-tier (scenario × method × mult) sweep
+// into scale cells in the same canonical order.
+func ScaleCells(scenarios []string, methods []string, mults []int, seed int64) []Cell {
+	cells := make([]Cell, 0, len(scenarios)*len(methods)*len(mults))
+	for _, sc := range scenarios {
+		for _, m := range methods {
+			for _, mult := range mults {
+				cells = append(cells, Cell{
+					Kind: CellScale, Scenario: sc, Method: m, Mult: mult, Seed: seed,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// GoldenCells returns the cells of the golden corpus: every method on
+// both Tiny scenarios at the default rate, seed 1 — the exact runs
+// TestGoldenRuns pins.
+func GoldenCells() []Cell {
+	return SweepCells([]string{"DART", "DNET"}, Tiny, MethodNames, 1, 0)
+}
+
+// MergeByScenario folds index-aligned cell results into per-scenario
+// method→summary maps — the golden corpus shape. The fold depends only
+// on the cell order, never on completion order, so any scheduling of the
+// same cells assembles the same value.
+func MergeByScenario(results []*CellResult) map[string]map[string]metrics.Summary {
+	out := make(map[string]map[string]metrics.Summary)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		m := out[r.Cell.Scenario]
+		if m == nil {
+			m = make(map[string]metrics.Summary)
+			out[r.Cell.Scenario] = m
+		}
+		m[r.Cell.Method] = r.Summary
+	}
+	return out
+}
+
+// CellGroup is one (scenario, method) group of a merged sweep with its
+// seeds averaged.
+type CellGroup struct {
+	Scenario string
+	Method   string
+	Seeds    int
+	Averaged Averaged
+}
+
+// MergeAverages groups index-aligned results by everything except the
+// seed (in first-appearance order) and averages each group — the fleet's
+// equivalent of Sweep's per-point Average fold.
+func MergeAverages(results []*CellResult) []CellGroup {
+	type key struct {
+		kind, scenario, scale, method string
+		rate                          float64
+		mult                          int
+	}
+	var order []key
+	groups := make(map[key][]metrics.Summary)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		c := r.Cell
+		k := key{c.kind(), c.Scenario, c.Scale, c.Method, c.Rate, c.Mult}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r.Summary)
+	}
+	out := make([]CellGroup, 0, len(order))
+	for _, k := range order {
+		sums := groups[k]
+		out = append(out, CellGroup{
+			Scenario: k.scenario,
+			Method:   k.method,
+			Seeds:    len(sums),
+			Averaged: Average(sums),
+		})
+	}
+	return out
+}

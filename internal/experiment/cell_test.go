@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestSweepCellsOrder(t *testing.T) {
+	cells := SweepCells([]string{"DART", "DNET"}, Tiny, []string{"A", "B"}, 2, 0)
+	want := []string{
+		"DART/A/1", "DART/A/2", "DART/B/1", "DART/B/2",
+		"DNET/A/1", "DNET/A/2", "DNET/B/1", "DNET/B/2",
+	}
+	if len(cells) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(want))
+	}
+	for i, c := range cells {
+		got := c.Scenario + "/" + c.Method + "/" + string(rune('0'+c.Seed))
+		if got != want[i] {
+			t.Errorf("cell %d: got %s, want %s", i, got, want[i])
+		}
+		if c.Kind != CellRun || c.Scale != string(Tiny) {
+			t.Errorf("cell %d: kind %q scale %q", i, c.Kind, c.Scale)
+		}
+	}
+}
+
+func TestGoldenCells(t *testing.T) {
+	cells := GoldenCells()
+	if len(cells) != 2*len(MethodNames) {
+		t.Fatalf("got %d golden cells, want %d", len(cells), 2*len(MethodNames))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c, err)
+		}
+		if c.Seed != 1 || c.Rate != 0 {
+			t.Errorf("%s: golden cells must be seed 1 at the default rate", c)
+		}
+		fp, err := c.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[fp] {
+			t.Errorf("duplicate fingerprint for %s", c)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestScaleCells(t *testing.T) {
+	cells := ScaleCells([]string{"DART"}, []string{"DTN-FLOW"}, []int{1, 2}, 3)
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	for i, c := range cells {
+		if c.Kind != CellScale || c.Mult != i+1 || c.Seed != 3 {
+			t.Errorf("cell %d malformed: %+v", i, c)
+		}
+		if err := c.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestMergeByScenario(t *testing.T) {
+	results := []*CellResult{
+		{Cell: Cell{Scenario: "DART", Method: "A"}, Summary: metrics.Summary{Generated: 1}},
+		{Cell: Cell{Scenario: "DART", Method: "B"}, Summary: metrics.Summary{Generated: 2}},
+		nil, // a skipped cell must not panic the merge
+		{Cell: Cell{Scenario: "DNET", Method: "A"}, Summary: metrics.Summary{Generated: 3}},
+	}
+	m := MergeByScenario(results)
+	if len(m) != 2 || len(m["DART"]) != 2 || len(m["DNET"]) != 1 {
+		t.Fatalf("bad merge shape: %+v", m)
+	}
+	if m["DART"]["B"].Generated != 2 || m["DNET"]["A"].Generated != 3 {
+		t.Errorf("merge misassigned summaries: %+v", m)
+	}
+}
+
+func TestMergeAverages(t *testing.T) {
+	mk := func(sc, m string, seed int64, succ float64) *CellResult {
+		return &CellResult{
+			Cell:    Cell{Scenario: sc, Scale: "tiny", Method: m, Seed: seed},
+			Summary: metrics.Summary{Method: m, SuccessRate: succ},
+		}
+	}
+	groups := MergeAverages([]*CellResult{
+		mk("DART", "A", 1, 0.4), mk("DART", "A", 2, 0.6),
+		mk("DART", "B", 1, 1.0),
+	})
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if g := groups[0]; g.Method != "A" || g.Seeds != 2 || g.Averaged.Success != 0.5 {
+		t.Errorf("group A wrong: %+v", g)
+	}
+	if g := groups[1]; g.Method != "B" || g.Seeds != 1 || g.Averaged.Success != 1.0 {
+		t.Errorf("group B wrong: %+v", g)
+	}
+}
+
+// TestExecuteCellMatchesRun pins the fleet's execution path to the
+// single-process one: ExecuteCell (which attaches a telemetry recorder)
+// must produce the exact summary of a plain Run — the probe path is
+// result-neutral, so a fleet sweep byte-matches an in-process sweep.
+func TestExecuteCellMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full Tiny simulations")
+	}
+	for _, method := range []string{"DTN-FLOW", "PROPHET"} {
+		cell := Cell{Scenario: "DART", Scale: "tiny", Method: method, Seed: 1}
+		res, err := ExecuteCell(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := Run{Scenario: DARTScenario(Tiny), Router: routerFactory(method), Seed: 1}.Execute()
+		if SummaryFingerprint(res.Summary) != SummaryFingerprint(plain) {
+			t.Errorf("%s: cell execution diverged from plain run:\ncell  %+v\nplain %+v", method, res.Summary, plain)
+		}
+		if res.Counters == nil || res.Counters.Events["generated"] != uint64(plain.Generated) {
+			t.Errorf("%s: cell counters missing or inconsistent: %+v", method, res.Counters)
+		}
+		if fp, _ := cell.Fingerprint(); fp != res.Fingerprint {
+			t.Errorf("%s: result fingerprint %s != cell fingerprint %s", method, res.Fingerprint, fp)
+		}
+	}
+}
+
+// TestExecuteCellScale pins a scale cell to the classic reference: the
+// sharded engine is bit-identical to the classic one, so the cell's
+// summary must match a classic run of the same spec.
+func TestExecuteCellScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scale simulations")
+	}
+	cell := Cell{Kind: CellScale, Scenario: "DNET", Method: "DTN-FLOW", Mult: 1, Seed: 1}
+	res, err := ExecuteCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := ScaleSpec{Scenario: "DNET", Mult: 1, Seed: 1}.RunClassic("DTN-FLOW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SummaryFingerprint(res.Summary) != SummaryFingerprint(classic.Summary) {
+		t.Errorf("scale cell diverged from classic reference:\ncell    %+v\nclassic %+v", res.Summary, classic.Summary)
+	}
+}

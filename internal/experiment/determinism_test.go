@@ -26,14 +26,17 @@ func determinismRuns() []Run {
 // results: a sweep executed serially and one executed with full
 // parallelism must produce identical []metrics.Summary. Each run owns its
 // engine, router and seeded RNG; shared state is limited to the memoized
-// trace artifacts, which are read-only after construction.
+// trace artifacts, which are read-only after construction. The comparison
+// is the canonical SummaryFingerprint — the same reduction the fleet's
+// content-addressed store and the golden compare use — with a DeepEqual
+// walk only to localize a diagnosis.
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full Tiny simulations")
 	}
 	serial := Parallel(determinismRuns(), 1)
 	parallel := Parallel(determinismRuns(), runtime.GOMAXPROCS(0))
-	if !reflect.DeepEqual(serial, parallel) {
+	if SummaryFingerprint(serial...) != SummaryFingerprint(parallel...) {
 		for i := range serial {
 			if !reflect.DeepEqual(serial[i], parallel[i]) {
 				t.Errorf("run %d diverged:\nworkers=1: %+v\nworkers=N: %+v", i, serial[i], parallel[i])
@@ -56,7 +59,7 @@ func TestCachedScenarioDeterminism(t *testing.T) {
 	for _, m := range []string{"DTN-FLOW", "PROPHET"} {
 		cached := Run{Scenario: DARTScenario(Tiny), Router: routerFactory(m), Seed: 1}.Execute()
 		fresh := Run{Scenario: buildDARTScenario(Tiny), Router: routerFactory(m), Seed: 1}.Execute()
-		if !reflect.DeepEqual(cached, fresh) {
+		if SummaryFingerprint(cached) != SummaryFingerprint(fresh) {
 			t.Errorf("%s: cached vs uncached scenario diverged:\ncached: %+v\nfresh:  %+v", m, cached, fresh)
 		}
 	}

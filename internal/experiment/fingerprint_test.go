@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// orderedA and orderedB marshal to the same JSON fields declared in
+// opposite Go struct orders — the canonical encoding must erase the
+// difference.
+type orderedA struct {
+	Alpha int     `json:"alpha"`
+	Beta  string  `json:"beta"`
+	Gamma float64 `json:"gamma"`
+}
+
+type orderedB struct {
+	Gamma float64 `json:"gamma"`
+	Beta  string  `json:"beta"`
+	Alpha int     `json:"alpha"`
+}
+
+func TestCanonicalJSONFieldOrder(t *testing.T) {
+	a, err := CanonicalJSON(orderedA{Alpha: 7, Beta: "x", Gamma: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalJSON(orderedB{Alpha: 7, Beta: "x", Gamma: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("field order leaked into canonical JSON:\nA: %s\nB: %s", a, b)
+	}
+	fa, _ := FingerprintJSON(orderedA{Alpha: 7, Beta: "x", Gamma: 2.5})
+	fb, _ := FingerprintJSON(orderedB{Alpha: 7, Beta: "x", Gamma: 2.5})
+	if fa != fb {
+		t.Errorf("fingerprints diverged across field order: %s vs %s", fa, fb)
+	}
+}
+
+func TestCanonicalJSONNumbers(t *testing.T) {
+	// int64 beyond float64's integer range and a non-terminating binary
+	// fraction: both must survive canonicalization byte-exact.
+	type nums struct {
+		Big  int64   `json:"big"`
+		Frac float64 `json:"frac"`
+	}
+	in := nums{Big: (1 << 60) + 1, Frac: 0.1}
+	blob, err := CanonicalJSON(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "1152921504606846977") {
+		t.Errorf("int64 literal mangled: %s", blob)
+	}
+	if !strings.Contains(string(blob), "0.1") {
+		t.Errorf("float literal mangled: %s", blob)
+	}
+}
+
+func TestCellFingerprintNormalization(t *testing.T) {
+	base := Cell{Scenario: "DART", Scale: "tiny", Method: "DTN-FLOW", Seed: 1, Kind: CellRun}
+	fp, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint %q is not a hex SHA-256", fp)
+	}
+	// Zero seed and empty kind normalize to the same cell.
+	norm := Cell{Scenario: "DART", Scale: "tiny", Method: "DTN-FLOW"}
+	if nfp, _ := norm.Fingerprint(); nfp != fp {
+		t.Errorf("normalized cell fingerprint diverged: %s vs %s", nfp, fp)
+	}
+	// Every semantic field must move the key.
+	for name, c := range map[string]Cell{
+		"seed":     {Scenario: "DART", Scale: "tiny", Method: "DTN-FLOW", Seed: 2},
+		"method":   {Scenario: "DART", Scale: "tiny", Method: "PROPHET", Seed: 1},
+		"scenario": {Scenario: "DNET", Scale: "tiny", Method: "DTN-FLOW", Seed: 1},
+		"scale":    {Scenario: "DART", Scale: "quick", Method: "DTN-FLOW", Seed: 1},
+		"rate":     {Scenario: "DART", Scale: "tiny", Method: "DTN-FLOW", Seed: 1, Rate: 123},
+		"kind":     {Kind: CellScale, Scenario: "DART", Method: "DTN-FLOW", Seed: 1, Mult: 1},
+	} {
+		ofp, err := c.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ofp == fp {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestCellFingerprintRejectsInvalid(t *testing.T) {
+	for name, c := range map[string]Cell{
+		"method":         {Scenario: "DART", Scale: "tiny", Method: "nope"},
+		"scale":          {Scenario: "DART", Scale: "huge", Method: "DTN-FLOW"},
+		"scenario":       {Scenario: "MARS", Scale: "tiny", Method: "DTN-FLOW"},
+		"kind":           {Kind: "weird", Scenario: "DART", Scale: "tiny", Method: "DTN-FLOW"},
+		"scale-scenario": {Kind: CellScale, Scenario: "CAMPUS", Method: "DTN-FLOW"},
+	} {
+		if _, err := c.Fingerprint(); err == nil {
+			t.Errorf("%s: invalid cell fingerprinted without error", name)
+		}
+	}
+}
+
+func TestSummaryFingerprint(t *testing.T) {
+	a := metrics.Summary{Method: "X", Generated: 10, Delivered: 9, SuccessRate: 0.9}
+	b := a
+	if SummaryFingerprint(a) != SummaryFingerprint(b) {
+		t.Error("identical summaries fingerprinted differently")
+	}
+	b.AvgDelay = 1e-9
+	if SummaryFingerprint(a) == SummaryFingerprint(b) {
+		t.Error("a changed field did not change the fingerprint")
+	}
+	if SummaryFingerprint(a, b) == SummaryFingerprint(b, a) {
+		t.Error("fingerprint ignored result order")
+	}
+}

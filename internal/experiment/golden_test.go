@@ -93,9 +93,28 @@ func TestGoldenRuns(t *testing.T) {
 			if len(want) != len(MethodNames) {
 				t.Fatalf("corpus has %d methods, want %d", len(want), len(MethodNames))
 			}
-			for _, m := range MethodNames {
-				if got[m] != want[m] {
-					t.Errorf("%s: classic run drifted from corpus:\ngot  %+v\nwant %+v", m, got[m], want[m])
+			// Headline compare: one canonical fingerprint over the whole
+			// corpus entry — the same reduction fleet store keys and the
+			// fleet byte-compare use — then a per-method walk to localize
+			// any drift.
+			gotFP, err := FingerprintJSON(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantFP, err := FingerprintJSON(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotFP != wantFP {
+				drift := false
+				for _, m := range MethodNames {
+					if got[m] != want[m] {
+						drift = true
+						t.Errorf("%s: classic run drifted from corpus:\ngot  %+v\nwant %+v", m, got[m], want[m])
+					}
+				}
+				if !drift {
+					t.Errorf("corpus fingerprint drifted (%s vs %s) outside the method set", gotFP, wantFP)
 				}
 			}
 			for _, m := range MethodNames {

@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// WorkerPool tracks worker processes spawned by SpawnWorkers.
+type WorkerPool struct {
+	cmds []*exec.Cmd
+}
+
+// SpawnWorkers launches n copies of the current executable with the
+// given argv (typically ["-join", addr]) as local worker processes,
+// their stderr forwarded to w (nil discards it). A clean coordinator
+// shutdown sends every worker a bye, so after Run the pool just needs
+// Wait; on an aborted run use Kill.
+func SpawnWorkers(n int, argv []string, w io.Writer) (*WorkerPool, error) {
+	bin, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: spawn: %w", err)
+	}
+	p := &WorkerPool{}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin, argv...)
+		if w != nil {
+			cmd.Stderr = w
+		}
+		if err := cmd.Start(); err != nil {
+			p.Kill()
+			return nil, fmt.Errorf("fleet: spawn worker %d: %w", i, err)
+		}
+		p.cmds = append(p.cmds, cmd)
+	}
+	return p, nil
+}
+
+// Wait reaps the pool and returns the first worker failure.
+func (p *WorkerPool) Wait() error {
+	var first error
+	for i, cmd := range p.cmds {
+		if err := cmd.Wait(); err != nil && first == nil {
+			first = fmt.Errorf("fleet: worker %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// Kill force-terminates the pool (error-path cleanup).
+func (p *WorkerPool) Kill() {
+	for _, cmd := range p.cmds {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}

@@ -1,0 +1,137 @@
+// Package fleet is the distributed sweep tier: a coordinator that
+// decomposes a sweep into independent cells (experiment.Cell), schedules
+// them onto worker processes over localhost TCP, detects worker failure
+// by heartbeat, re-dispatches lost cells with bounded backoff-retry, and
+// assembles results deterministically — index-aligned with the input
+// cells, so worker count and completion order can never change the
+// output. Results land in a content-addressed store keyed by the
+// canonical run fingerprint (Store), making re-runs cache hits and
+// golden comparisons exact byte-compares. With no workers available the
+// coordinator degrades to in-process execution of the same cells.
+//
+// Determinism contract: a worker executes a cell with
+// experiment.ExecuteCell, the same single-process path the golden corpus
+// pins, and every cell owns its engine and seeded RNG — so a fleet run
+// of the golden corpus byte-matches TestGoldenRuns regardless of how the
+// cells were scheduled.
+package fleet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/experiment"
+)
+
+// ProtoVersion is the wire-protocol version. A coordinator rejects a
+// worker whose hello carries a different version; bump on any change to
+// the envelope schema or framing.
+const ProtoVersion = 1
+
+// maxFrame bounds one message. Cell results are kilobytes; anything near
+// this is a corrupt or hostile stream.
+const maxFrame = 16 << 20
+
+// Message types.
+const (
+	MsgHello     = "hello"     // worker → coordinator, once, first
+	MsgReject    = "reject"    // coordinator → worker: handshake refused
+	MsgJob       = "job"       // coordinator → worker: execute a cell
+	MsgHeartbeat = "heartbeat" // worker → coordinator: still on it
+	MsgResult    = "result"    // worker → coordinator: cell finished
+	MsgBye       = "bye"       // coordinator → worker: no more work
+)
+
+// Hello is the worker's handshake. Engine carries sim.EngineVersion:
+// mixing engine behaviours inside one sweep would break the bit-exact
+// assembly, so a mismatched worker is rejected, not tolerated.
+type Hello struct {
+	Proto  int    `json:"proto"`
+	Engine string `json:"engine"`
+	Name   string `json:"name"`
+}
+
+// Job asks the worker to execute one cell. Seq identifies the dispatch —
+// a result for any other sequence is a protocol error.
+type Job struct {
+	Seq  int64           `json:"seq"`
+	Cell experiment.Cell `json:"cell"`
+}
+
+// Heartbeat reports liveness while a cell executes.
+type Heartbeat struct {
+	Seq int64 `json:"seq"`
+}
+
+// Result returns a finished cell. Err is set for a deterministic
+// execution failure (malformed cell); worker death never produces a
+// Result — it is detected by heartbeat loss or connection error.
+// WallSec is the worker-side execution time, surfaced in the progress
+// report but never stored (it is nondeterministic).
+type Result struct {
+	Seq     int64                  `json:"seq"`
+	Res     *experiment.CellResult `json:"res,omitempty"`
+	Err     string                 `json:"err,omitempty"`
+	WallSec float64                `json:"wall_sec"`
+}
+
+// Reject tells a worker why its handshake was refused.
+type Reject struct {
+	Reason string `json:"reason"`
+}
+
+// Envelope is the one message shape on the wire: a type tag plus the
+// matching payload pointer. Versioned via Hello.Proto at handshake.
+type Envelope struct {
+	Type      string     `json:"type"`
+	Hello     *Hello     `json:"hello,omitempty"`
+	Reject    *Reject    `json:"reject,omitempty"`
+	Job       *Job       `json:"job,omitempty"`
+	Heartbeat *Heartbeat `json:"heartbeat,omitempty"`
+	Result    *Result    `json:"result,omitempty"`
+}
+
+// writeMsg frames env as a big-endian uint32 length followed by its JSON
+// encoding.
+func writeMsg(w io.Writer, env *Envelope) error {
+	blob, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("fleet: encode %s: %w", env.Type, err)
+	}
+	if len(blob) > maxFrame {
+		return fmt.Errorf("fleet: %s message of %d bytes exceeds frame limit", env.Type, len(blob))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(blob)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// readMsg reads one framed envelope.
+func readMsg(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("fleet: frame of %d bytes out of range", n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, err
+	}
+	env := &Envelope{}
+	if err := json.Unmarshal(blob, env); err != nil {
+		return nil, fmt.Errorf("fleet: decode frame: %w", err)
+	}
+	if env.Type == "" {
+		return nil, fmt.Errorf("fleet: frame missing type")
+	}
+	return env, nil
+}

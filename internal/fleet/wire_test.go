@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	msgs := []*Envelope{
+		{Type: MsgHello, Hello: &Hello{Proto: ProtoVersion, Engine: "e", Name: "w1"}},
+		{Type: MsgJob, Job: &Job{Seq: 7, Cell: experiment.Cell{Scenario: "DART", Scale: "tiny", Method: "DTN-FLOW", Seed: 2}}},
+		{Type: MsgHeartbeat, Heartbeat: &Heartbeat{Seq: 7}},
+		{Type: MsgResult, Result: &Result{
+			Seq:     7,
+			Res:     &experiment.CellResult{Fingerprint: "ab", Summary: metrics.Summary{Method: "DTN-FLOW", Generated: 3}},
+			WallSec: 1.5,
+		}},
+		{Type: MsgReject, Reject: &Reject{Reason: "nope"}},
+		{Type: MsgBye},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := writeMsg(&buf, m); err != nil {
+			t.Fatalf("write %s: %v", m.Type, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := readMsg(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", want.Type, err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("got type %s, want %s", got.Type, want.Type)
+		}
+		switch want.Type {
+		case MsgJob:
+			if got.Job == nil || got.Job.Seq != want.Job.Seq || got.Job.Cell != want.Job.Cell {
+				t.Errorf("job mangled: %+v", got.Job)
+			}
+		case MsgResult:
+			if got.Result == nil || got.Result.Res == nil ||
+				got.Result.Res.Summary != want.Result.Res.Summary ||
+				got.Result.WallSec != want.Result.WallSec {
+				t.Errorf("result mangled: %+v", got.Result)
+			}
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d trailing bytes after reading all messages", buf.Len())
+	}
+}
+
+func TestWireRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	buf.Write(hdr[:])
+	if _, err := readMsg(&buf); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("oversized frame not rejected: %v", err)
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	for name, raw := range map[string][]byte{
+		"zero-length": {0, 0, 0, 0},
+		"truncated":   {0, 0, 0, 9, '{', '}'},
+		"not-json":    {0, 0, 0, 3, 'z', 'z', 'z'},
+		"no-type":     {0, 0, 0, 2, '{', '}'},
+	} {
+		if _, err := readMsg(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+// Worker dials a coordinator and executes the cells it is handed until
+// the coordinator says bye. While a cell runs, a background ticker sends
+// heartbeats so the coordinator can tell "slow" from "dead".
+type Worker struct {
+	// Addr is the coordinator's address.
+	Addr string
+	// Name labels this worker in the coordinator's progress report.
+	Name string
+	// HeartbeatEvery is the heartbeat period; <= 0 means 1s. Keep it
+	// well under the coordinator's HeartbeatTimeout.
+	HeartbeatEvery time.Duration
+	// Exec executes one cell; nil means experiment.ExecuteCell. Tests
+	// substitute failing or slow executors here.
+	Exec func(experiment.Cell) (*experiment.CellResult, error)
+}
+
+func (w *Worker) heartbeatEvery() time.Duration {
+	if w.HeartbeatEvery <= 0 {
+		return time.Second
+	}
+	return w.HeartbeatEvery
+}
+
+func (w *Worker) exec() func(experiment.Cell) (*experiment.CellResult, error) {
+	if w.Exec == nil {
+		return experiment.ExecuteCell
+	}
+	return w.Exec
+}
+
+// Run serves one coordinator session: dial (with a short retry window so
+// worker and coordinator starts need not be ordered), handshake, then
+// the job loop. It returns nil after a clean bye.
+func (w *Worker) Run() error {
+	conn, err := dialRetry(w.Addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	hello := &Hello{Proto: ProtoVersion, Engine: sim.EngineVersion, Name: w.Name}
+	if err := writeMsg(conn, &Envelope{Type: MsgHello, Hello: hello}); err != nil {
+		return fmt.Errorf("fleet: worker hello: %w", err)
+	}
+	for {
+		env, err := readMsg(conn)
+		if err != nil {
+			return fmt.Errorf("fleet: worker %s: coordinator lost: %w", w.Name, err)
+		}
+		switch env.Type {
+		case MsgBye:
+			return nil
+		case MsgReject:
+			reason := "unspecified"
+			if env.Reject != nil {
+				reason = env.Reject.Reason
+			}
+			return fmt.Errorf("fleet: worker %s rejected: %s", w.Name, reason)
+		case MsgJob:
+			if env.Job == nil {
+				return fmt.Errorf("fleet: empty job")
+			}
+			if err := w.runJob(conn, env.Job); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fleet: worker %s: unexpected %s", w.Name, env.Type)
+		}
+	}
+}
+
+// runJob executes one cell, heartbeating throughout, and sends the
+// result. A deterministic execution error travels back as Result.Err;
+// only transport failures return an error (and kill the worker).
+func (w *Worker) runJob(conn net.Conn, job *Job) error {
+	var wmu sync.Mutex // heartbeat ticker and result writer share the conn
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(w.heartbeatEvery())
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				wmu.Lock()
+				// A failed heartbeat is not fatal here; the result write
+				// below will surface the broken connection.
+				writeMsg(conn, &Envelope{Type: MsgHeartbeat, Heartbeat: &Heartbeat{Seq: job.Seq}})
+				wmu.Unlock()
+			}
+		}
+	}()
+	t0 := time.Now()
+	res, err := w.exec()(job.Cell)
+	close(stop)
+	wg.Wait()
+	r := &Result{Seq: job.Seq, WallSec: time.Since(t0).Seconds()}
+	if err != nil {
+		r.Err = err.Error()
+	} else {
+		r.Res = res
+	}
+	if err := writeMsg(conn, &Envelope{Type: MsgResult, Result: r}); err != nil {
+		return fmt.Errorf("fleet: worker %s: send result: %w", w.Name, err)
+	}
+	return nil
+}
+
+// dialRetry dials addr, retrying briefly so a worker started moments
+// before its coordinator still connects.
+func dialRetry(addr string, window time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(window)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("fleet: dial %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,14 @@
+package sim
+
+// EngineVersion names the current numeric behaviour of the simulation
+// engines — the classic heap engine and the sharded scale engine, which
+// are pinned bit-identical to each other by the golden corpus. It is part
+// of every run fingerprint (experiment.Cell.Fingerprint), so cached fleet
+// results and golden comparisons can never silently span an engine whose
+// event order, tie-breaks or accounting rules changed.
+//
+// Bump the suffix in the same commit that regenerates testdata/golden
+// (scripts/golden.sh): the corpus and this constant both pin the same
+// contract, and a stale content-addressed store entry from the previous
+// behaviour must miss, not hit.
+const EngineVersion = "dtnflow-engine/6"

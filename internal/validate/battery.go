@@ -3,7 +3,6 @@ package validate
 import (
 	"fmt"
 	"io"
-	"reflect"
 
 	"repro/internal/experiment"
 	"repro/internal/sim"
@@ -134,9 +133,11 @@ func RunBattery(opt BatteryOptions) *Report {
 			}
 
 			// Neutrality: the watched run must be bit-identical to a plain
-			// one — the checker observes, never interferes.
+			// one — the checker observes, never interferes. Compared by the
+			// canonical SummaryFingerprint, the same reduction the fleet
+			// store and the determinism tests use.
 			plain := experiment.Run{Scenario: sc, Router: routerFor(m), Rate: rate, Seed: 1}.Execute()
-			if !reflect.DeepEqual(plain, checked) {
+			if experiment.SummaryFingerprint(plain) != experiment.SummaryFingerprint(checked) {
 				rep.add(name+": checker-neutral", false,
 					fmt.Sprintf("plain %+v, checked %+v", plain, checked))
 			} else {
@@ -177,7 +178,7 @@ func forkEquivalence(sc *experiment.Scenario, method string, rate float64, seeds
 	for seed := int64(1); seed <= int64(seeds); seed++ {
 		forked := sim.Fork(snap, sc.Workload(rate), seed).Run().Summary
 		fresh := experiment.Run{Scenario: sc, Router: routerFor(method), Rate: rate, Seed: seed}.Execute()
-		if !reflect.DeepEqual(forked, fresh) {
+		if experiment.SummaryFingerprint(forked) != experiment.SummaryFingerprint(fresh) {
 			return Item{Name: name, Detail: fmt.Sprintf("seed %d: forked %+v, fresh %+v", seed, forked, fresh)}
 		}
 	}

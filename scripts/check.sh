@@ -1,9 +1,11 @@
 #!/bin/sh
 # Pre-merge hygiene gate: formatting, vet, the race detector over the
 # packages that share state across goroutines (the parallel experiment
-# sweep and the engine it drives), and the validation battery — invariant
-# checker, checker-neutrality, fork equivalence and the O1-O4
-# paper-fidelity checks at tiny scale.
+# sweep, the engine it drives, and the fleet coordinator/worker pair),
+# the validation battery — invariant checker, checker-neutrality, fork
+# equivalence and the O1-O4 paper-fidelity checks at tiny scale — and
+# the fleet smoke (2-worker sweep byte-compared against in-process plus
+# the 100%-cache-hit re-run).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,7 +17,8 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
-go test -race ./internal/experiment ./internal/sim
+go test -race ./internal/experiment ./internal/sim ./internal/fleet
 go run ./cmd/dtnflow-validate
+./scripts/fleet-smoke.sh
 
 echo "check.sh: all clean"

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Fleet smoke gate: the distributed path must be invisible in the
+# results. Runs the default Tiny sweep through a coordinator with two
+# spawned workers and byte-compares it against the in-process run, then
+# repeats the fleet run against the warmed store and requires 100% cache
+# hits with, again, byte-identical output.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+go build -o "$tmp/dtnflow-fleet" ./cmd/dtnflow-fleet
+
+echo "fleet-smoke: cold fleet run (2 workers, empty store)"
+"$tmp/dtnflow-fleet" -q -json -workers 2 -store "$tmp/store" \
+    -report "$tmp/cold.json" > "$tmp/fleet.json"
+
+echo "fleet-smoke: reference in-process run"
+"$tmp/dtnflow-fleet" -q -json -workers 0 > "$tmp/local.json"
+
+if ! cmp -s "$tmp/fleet.json" "$tmp/local.json"; then
+    echo "fleet-smoke: FAIL: fleet output differs from in-process output" >&2
+    diff "$tmp/local.json" "$tmp/fleet.json" >&2 || true
+    exit 1
+fi
+
+echo "fleet-smoke: warm fleet run (same store)"
+"$tmp/dtnflow-fleet" -q -json -workers 2 -store "$tmp/store" \
+    -report "$tmp/warm.json" > "$tmp/fleet2.json"
+
+if ! cmp -s "$tmp/fleet.json" "$tmp/fleet2.json"; then
+    echo "fleet-smoke: FAIL: warm run output differs from cold run" >&2
+    exit 1
+fi
+
+# The report JSON is indented one field per line; pull the counters out.
+cells=$(sed -n 's/.*"cells": \([0-9]*\).*/\1/p' "$tmp/warm.json")
+hits=$(sed -n 's/.*"cache_hits": \([0-9]*\).*/\1/p' "$tmp/warm.json")
+executed=$(sed -n 's/.*"executed": \([0-9]*\).*/\1/p' "$tmp/warm.json")
+if [ -z "$cells" ] || [ "$cells" -eq 0 ] || [ "$hits" != "$cells" ] || [ "$executed" != "0" ]; then
+    echo "fleet-smoke: FAIL: warm run not fully cached (cells=$cells hits=$hits executed=$executed)" >&2
+    cat "$tmp/warm.json" >&2
+    exit 1
+fi
+
+echo "fleet-smoke: OK ($cells cells byte-identical across 2-worker, in-process and cached runs)"
