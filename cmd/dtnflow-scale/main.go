@@ -46,16 +46,23 @@ func main() {
 		engine    = flag.String("engine", "sharded", "simulation path: sharded, classic, or both (equivalence check)")
 		workers   = flag.Int("workers", 0, "shard/fill workers (0 = GOMAXPROCS)")
 		epochDays = flag.Float64("epoch-days", 1, "sharded merge epoch in days")
+		parApply  = flag.Bool("parallel-apply", false, "enable the plan/commit execution pipeline (bit-identical; reports plan hit/conflict counters)")
+		planWin   = flag.Int("plan-window", 0, "events per planning window (0 = default)")
 		rate      = flag.Float64("rate", 0, "packets/day network-wide (0 = scenario default)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 		execTrace = flag.String("trace", "", "write an execution trace to this file")
+		blockProf = flag.String("blockprofile", "", "write a goroutine blocking profile to this file")
+		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile to this file")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf, *execTrace)
+	stopProf, err := prof.Config{
+		CPU: *cpuProf, Mem: *memProf, Trace: *execTrace,
+		Block: *blockProf, Mutex: *mutexProf,
+	}.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtnflow-scale:", err)
 		os.Exit(1)
@@ -74,8 +81,10 @@ func main() {
 	switch *engine {
 	case "sharded":
 		sh := sim.ShardConfig{
-			Workers: *workers,
-			Epoch:   trace.Time(*epochDays * float64(trace.Day)),
+			Workers:       *workers,
+			Epoch:         trace.Time(*epochDays * float64(trace.Day)),
+			ParallelApply: *parApply,
+			PlanWindow:    *planWin,
 		}
 		res, err = spec.RunSharded(*method, sh)
 	case "classic":
@@ -85,8 +94,10 @@ func main() {
 		// the classic one; any divergence must fail the process, not just
 		// print — fleet workers and CI trust this exit code.
 		sh := sim.ShardConfig{
-			Workers: *workers,
-			Epoch:   trace.Time(*epochDays * float64(trace.Day)),
+			Workers:       *workers,
+			Epoch:         trace.Time(*epochDays * float64(trace.Day)),
+			ParallelApply: *parApply,
+			PlanWindow:    *planWin,
 		}
 		var classic *experiment.ScaleResult
 		res, err = spec.RunSharded(*method, sh)
@@ -134,6 +145,11 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Printf("  peak heap   %.1f MiB\n", float64(res.PeakHeap)/(1<<20))
+	if res.Planned > 0 {
+		fmt.Printf("  plan        %d arrivals planned: %d hit (%.1f%%), %d conflict, %d bail\n",
+			res.Planned, res.PlanHits, 100*float64(res.PlanHits)/float64(res.Planned),
+			res.PlanConflicts, res.PlanBails)
+	}
 	fmt.Printf("  summary     success %.4f, delivered %d/%d, avg delay %.0fs, fwd %d\n",
 		res.Summary.SuccessRate, res.Summary.Delivered, res.Summary.Generated,
 		res.Summary.AvgDelay, res.Summary.Forwarding)

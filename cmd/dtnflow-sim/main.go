@@ -52,6 +52,8 @@ func main() {
 		// -trace already names the input trace here, so the execution-trace
 		// flag is spelled -exectrace (dtnflow-scale uses plain -trace).
 		execTrace = flag.String("exectrace", "", "write an execution trace to this file")
+		blockProf = flag.String("blockprofile", "", "write a goroutine blocking profile to this file")
+		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile to this file")
 	)
 	flag.Parse()
 
@@ -61,7 +63,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	stopProf, err := prof.Start(*cpuProf, *memProf, *execTrace)
+	stopProf, err := prof.Config{
+		CPU: *cpuProf, Mem: *memProf, Trace: *execTrace,
+		Block: *blockProf, Mutex: *mutexProf,
+	}.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dtnflow-sim:", err)
 		os.Exit(1)

@@ -67,8 +67,8 @@ func (ns *nodeState) clone() *nodeState {
 		predicted: ns.predicted,
 		predFrom:  ns.predFrom,
 		predProb:  ns.predProb,
-		staySum:   append([]trace.Time(nil), ns.staySum...),
-		stayCnt:   append([]int(nil), ns.stayCnt...),
+		accVal:    ns.accVal,
+		stay:      append([]stayStat(nil), ns.stay...),
 		totalSum:  ns.totalSum,
 		totalCnt:  ns.totalCnt,
 		deadEnded: ns.deadEnded,

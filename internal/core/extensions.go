@@ -33,8 +33,8 @@ func (r *Router) armDeadEnd(ctx *sim.Context, c *sim.Contact) {
 	// "to a relatively large value to prevent false positives").
 	avgAll := float64(ns.totalSum) / float64(ns.totalCnt)
 	threshold := r.cfg.Gamma * avgAll
-	if cnt := ns.stayCnt[lm]; cnt > 0 {
-		if local := r.cfg.Gamma * float64(ns.staySum[lm]) / float64(cnt); local > threshold {
+	if st := ns.stay[lm]; st.cnt > 0 {
+		if local := r.cfg.Gamma * float64(st.sum) / float64(st.cnt); local > threshold {
 			threshold = local
 		}
 	}

@@ -216,7 +216,7 @@ func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 		if pt := ns.predProb; pt > 0 {
 			po := pt
 			if r.cfg.UseAccuracy {
-				po *= ns.acc.Value()
+				po *= ns.accVal
 			}
 			r.carrierBkt[t] = append(r.carrierBkt[t], carrierEnt{n: n, po: po})
 		}
@@ -359,6 +359,13 @@ func (r *Router) uploadBatch(ctx *sim.Context, c *sim.Contact) int {
 func (r *Router) schedule(ctx *sim.Context, c *sim.Contact) {
 	lm := c.Landmark
 	st := ctx.Stations[lm]
+	if st.Buffer.Len() == 0 && c.Node.Buffer.Len() == 0 {
+		// Uploads drain only the contact node and forwarding drains only
+		// the station; with both empty no transfer can ever start, so the
+		// presence scan below (the cost on the vast majority of contacts)
+		// is skipped outright.
+		return
+	}
 	nn := 0
 	for _, n := range ctx.NodesAt(lm) {
 		nn += n.Buffer.Len()

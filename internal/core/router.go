@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/predict"
 	"repro/internal/routing"
@@ -38,6 +39,7 @@ type nodeState struct {
 	predicted int     // predicted next landmark; -1 unknown
 	predFrom  int     // landmark where the prediction was made; -1 none
 	predProb  float64 // transit probability p_t of predicted; 0 when unknown
+	accVal    float64 // cached acc.Value(): read per present node per pass
 
 	vectors []carriedVector
 	// reports holds report copies this node owns (leftovers kept across an
@@ -48,13 +50,19 @@ type nodeState struct {
 	reportsShare []routing.BandwidthReport
 	notices      []correctionNotice
 
-	// stay-time statistics for dead-end detection (dense per landmark —
-	// two map assigns per departure were measurable at scale).
-	staySum   []trace.Time
-	stayCnt   []int
+	// stay-time statistics for dead-end detection (dense per landmark;
+	// sum and count share a struct so a departure touches one cache line —
+	// the split-slice layout was the hottest line in OnDepart at scale).
+	stay      []stayStat
 	totalSum  trace.Time
 	totalCnt  int
 	deadEnded bool // dead end declared during the current visit
+}
+
+// stayStat accumulates one node's stay time at one landmark.
+type stayStat struct {
+	sum trace.Time
+	cnt int64
 }
 
 // landmarkState is DTN-FLOW's per-landmark bookkeeping.
@@ -130,6 +138,11 @@ type Router struct {
 	// Reusable scratch state for the forwarding hot path (forward.go).
 	// One router serves one engine, so the scratch is race-free; sweeps
 	// parallelise across engines, each with its own router.
+	// planPool recycles contactPlan scratch for the plan/commit pipeline
+	// (plan.go); pooled rather than single-slot because PlanContact calls
+	// run concurrently.
+	planPool sync.Pool
+
 	reachStamp    []int // per landmark; == reachEpoch when reachable this pass
 	directStamp   []int // per landmark; == reachEpoch when some present node predicts it
 	reachEpoch    int
@@ -189,16 +202,20 @@ func (r *Router) Init(ctx *sim.Context) {
 			acc:       acc,
 			predicted: -1,
 			predFrom:  -1,
-			staySum:   make([]trace.Time, nL),
-			stayCnt:   make([]int, nL),
+			accVal:    acc.Value(),
+			stay:      make([]stayStat, nL),
 		}
 	}
 	r.landmarks = make([]*landmarkState, nL)
 	for i := range r.landmarks {
+		bw := routing.NewBandwidthTable(r.cfg.Rho)
+		bw.SetDomain(nL)
+		arrivals := routing.NewArrivalCounter()
+		arrivals.SetDomain(nL)
 		r.landmarks[i] = &landmarkState{
 			table:       routing.NewTable(i, nL),
-			bw:          routing.NewBandwidthTable(r.cfg.Rho),
-			arrivals:    routing.NewArrivalCounter(),
+			bw:          bw,
+			arrivals:    arrivals,
 			pending:     make([]routing.BandwidthReport, nL),
 			hasPending:  make([]bool, nL),
 			version:     1,
@@ -239,6 +256,20 @@ func (r *Router) OnGenerate(ctx *sim.Context, p *sim.Packet) {
 
 // OnContact implements sim.Router.
 func (r *Router) OnContact(ctx *sim.Context, c *sim.Contact) {
+	// Steps 1–5: measurement, prediction and control-state delivery.
+	r.contactPrologue(ctx, c)
+
+	// 6. Scheduled communication: uploads and forwarding.
+	r.schedule(ctx, c)
+
+	// Step 7: dead-end timer.
+	r.contactEpilogue(ctx, c)
+}
+
+// contactPrologue runs steps 1–5 of contact processing — everything before
+// the communication schedule. CommitContact (plan.go) shares it with
+// OnContact so a replayed plan sees the identical prologue mutations.
+func (r *Router) contactPrologue(ctx *sim.Context, c *sim.Contact) {
 	n := c.Node
 	ns := r.nodes[n.ID]
 	lm := c.Landmark
@@ -253,6 +284,7 @@ func (r *Router) OnContact(ctx *sim.Context, c *sim.Contact) {
 	if ns.predicted >= 0 && ns.predFrom >= 0 && ns.predFrom != lm {
 		hit := ns.predicted == lm
 		ns.acc.Record(hit)
+		ns.accVal = ns.acc.Value()
 		ctx.Probe.Predict(ctx.Now(), n.ID, ns.predicted, lm, hit)
 	}
 
@@ -277,11 +309,10 @@ func (r *Router) OnContact(ctx *sim.Context, c *sim.Contact) {
 	if r.cfg.NodeRouting {
 		r.nodeRoutingOnContact(ctx, n, lm)
 	}
+}
 
-	// 6. Scheduled communication: uploads and forwarding.
-	r.schedule(ctx, c)
-
-	// 7. Dead-end prevention: arm the stay-time timer (Section IV-E.1).
+// contactEpilogue runs step 7 — dead-end prevention (Section IV-E.1).
+func (r *Router) contactEpilogue(ctx *sim.Context, c *sim.Contact) {
 	if r.cfg.DeadEnd {
 		r.armDeadEnd(ctx, c)
 	}
@@ -293,8 +324,9 @@ func (r *Router) OnDepart(ctx *sim.Context, n *sim.Node, lm int) {
 	ns := r.nodes[n.ID]
 	ls := r.landmarks[lm]
 	stay := n.VisitEnd - n.VisitStart
-	ns.staySum[lm] += stay
-	ns.stayCnt[lm]++
+	st := &ns.stay[lm]
+	st.sum += stay
+	st.cnt++
 	ns.totalSum += stay
 	ns.totalCnt++
 
@@ -504,9 +536,13 @@ func (r *Router) deliverControl(ctx *sim.Context, ns *nodeState, lm int) {
 				keep = append(keep, rep) // still fresh; keep carrying
 			}
 		}
-		for i := range ns.reportsShare {
-			if ns.reportsShare[i].From == lm {
-				r.applyReport(ctx, ls, ns.reportsShare[i])
+		// The snapshot is sorted by From with unique entries (it mirrors
+		// pendingList), so the one report addressed to this landmark — if
+		// any — is found by binary search instead of a full scan.
+		if sh := ns.reportsShare; len(sh) > 0 {
+			i := sort.Search(len(sh), func(i int) bool { return sh[i].From >= lm })
+			if i < len(sh) && sh[i].From == lm {
+				r.applyReport(ctx, ls, sh[i])
 			}
 			// Undelivered snapshot entries are dropped, not carried on:
 			// arrivals and departures strictly alternate per node (trace

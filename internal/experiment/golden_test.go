@@ -46,16 +46,37 @@ func goldenRuns(sc *Scenario) map[string]metrics.Summary {
 // over a chunked view of the scenario trace.
 func shardedGoldenRun(t *testing.T, sc *Scenario, method string) metrics.Summary {
 	t.Helper()
+	sum, _ := shardedGoldenRunCfg(t, sc, method, sim.ShardConfig{Workers: 4})
+	return sum
+}
+
+// shardedGoldenRunCfg is shardedGoldenRun with an explicit shard
+// configuration, reporting the run's stats as well.
+func shardedGoldenRunCfg(t *testing.T, sc *Scenario, method string, sh sim.ShardConfig) (metrics.Summary, sim.ShardStats) {
+	t.Helper()
 	cfg := sc.Config(1)
 	s, err := sim.NewSharded(
 		func() trace.Source { return trace.NewSliceSource(sc.Trace, 512) },
-		NewRouter(method), sc.Workload(sc.RateDef), cfg,
-		sim.ShardConfig{Workers: 4},
+		NewRouter(method), sc.Workload(sc.RateDef), cfg, sh,
 	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s.Run().Summary
+	return s.Run().Summary, s.Stats()
+}
+
+// loadGolden reads the checked-in corpus entry for one scenario.
+func loadGolden(t *testing.T, sc *Scenario) map[string]metrics.Summary {
+	t.Helper()
+	blob, err := os.ReadFile(goldenPath(sc.Name))
+	if err != nil {
+		t.Fatalf("%v (regenerate with scripts/golden.sh)", err)
+	}
+	want := map[string]metrics.Summary{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want
 }
 
 // TestGoldenRuns compares every method × Tiny scenario against the checked

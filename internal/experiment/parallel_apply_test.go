@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// These tests pin the plan/commit execution pipeline (sim/parallel.go,
+// core/plan.go) to the bit-identity contract: with ParallelApply on, every
+// worker count and plan-window size must reproduce the exact summaries of
+// the classic engine — the golden corpus on the paper scenarios, and a
+// direct classic-vs-sharded comparison on an adversarial trace built to
+// conflict on every window.
+
+// TestParallelApplyGolden sweeps the worker counts of the determinism gate
+// with the pipeline enabled, against the checked-in corpus. DTN-FLOW is the
+// one planning router; the pipeline must engage (plans committed, not just
+// attempted) and still match the corpus bit-for-bit.
+func TestParallelApplyGolden(t *testing.T) {
+	for _, sc := range BothScenarios(Tiny) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			want := loadGolden(t, sc)
+			for _, workers := range []int{1, 2, 8, runtime.GOMAXPROCS(0)} {
+				sh := sim.ShardConfig{Workers: workers, ParallelApply: true}
+				sum, st := shardedGoldenRunCfg(t, sc, "DTN-FLOW", sh)
+				if sum != want["DTN-FLOW"] {
+					t.Errorf("workers=%d: parallel apply drifted from corpus:\ngot  %+v\nwant %+v",
+						workers, sum, want["DTN-FLOW"])
+				}
+				if st.Planned == 0 || st.PlanHits == 0 {
+					t.Errorf("workers=%d: pipeline never engaged: %+v", workers, st)
+				}
+				if st.PlanHits+st.PlanConflicts+st.PlanBails != st.Planned {
+					t.Errorf("workers=%d: plan counters do not partition Planned: %+v", workers, st)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelApplyFallback runs every method with ParallelApply requested:
+// the baseline routers do not implement sim.ContactPlanner, so the engine
+// must fall back to the plain apply loop and still match the corpus.
+func TestParallelApplyFallback(t *testing.T) {
+	sc := BothScenarios(Tiny)[0]
+	want := loadGolden(t, sc)
+	for _, m := range MethodNames {
+		sh := sim.ShardConfig{Workers: 2, ParallelApply: true}
+		sum, st := shardedGoldenRunCfg(t, sc, m, sh)
+		if sum != want[m] {
+			t.Errorf("%s: summary drifted with ParallelApply requested:\ngot  %+v\nwant %+v", m, sum, want[m])
+		}
+		if m != "DTN-FLOW" && st.Planned != 0 {
+			t.Errorf("%s: non-planning router reported %d planned arrivals", m, st.Planned)
+		}
+	}
+}
+
+// pingPongTrace builds the adversarial case for the pipeline: every node
+// oscillates between two landmarks on the same cadence, so all traffic
+// shares one conflict domain and consecutive window events collide with
+// near certainty.
+func pingPongTrace(nodes, steps int) *trace.Trace {
+	tr := &trace.Trace{Name: "pingpong", NumNodes: nodes, NumLandmarks: 2}
+	for s := 0; s < steps; s++ {
+		for n := 0; n < nodes; n++ {
+			start := trace.Time(s)*3600 + trace.Time(n)*10
+			tr.Visits = append(tr.Visits, trace.Visit{
+				Node:     n,
+				Landmark: (s + n) % 2,
+				Start:    start,
+				End:      start + 1800,
+			})
+		}
+	}
+	return tr
+}
+
+// TestParallelApplyConflictHeavy pins plan-path vs inline-path bit-identity
+// where validation does the most work: summaries AND the router's internal
+// decision counters (NoRoute, NoCarrier, Forwarded, …) must match the
+// classic engine exactly, for every worker count and window size, including
+// degenerate single-event windows.
+func TestParallelApplyConflictHeavy(t *testing.T) {
+	tr := pingPongTrace(8, 400)
+	cfg := sim.Config{Seed: 3, PacketSize: 1, NodeMemory: 50, TTL: 200000, Unit: 6 * 3600, LinkRate: 2}
+	mkWorkload := func() *sim.Workload { return sim.NewWorkload(500, 1, 200000) }
+
+	refRouter := core.New(core.DefaultConfig())
+	ref := sim.New(tr, refRouter, mkWorkload(), cfg).Run()
+
+	for _, tc := range []sim.ShardConfig{
+		{Workers: 1, ParallelApply: true},
+		{Workers: 2, ParallelApply: true, PlanWindow: 1},
+		{Workers: 2, ParallelApply: true, PlanWindow: 8},
+		{Workers: 8, ParallelApply: true, PlanWindow: 256, Epoch: 7200},
+		{Workers: runtime.GOMAXPROCS(0), ParallelApply: true},
+	} {
+		rt := core.New(core.DefaultConfig())
+		s, err := sim.NewSharded(func() trace.Source { return trace.NewSliceSource(tr, 64) },
+			rt, mkWorkload(), cfg, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run()
+		if res.Summary != ref.Summary {
+			t.Errorf("%+v: summary differs:\nplanned %+v\nclassic %+v", tc, res.Summary, ref.Summary)
+		}
+		if rt.Debug != refRouter.Debug {
+			t.Errorf("%+v: decision counters differ:\nplanned %+v\nclassic %+v", tc, rt.Debug, refRouter.Debug)
+		}
+		st := s.Stats()
+		if st.Planned == 0 {
+			t.Errorf("%+v: pipeline never planned an arrival: %+v", tc, st)
+		}
+		if st.PlanHits+st.PlanConflicts+st.PlanBails != st.Planned {
+			t.Errorf("%+v: plan counters do not partition Planned: %+v", tc, st)
+		}
+	}
+}

@@ -193,6 +193,13 @@ func (c *Coordinator) Run(cells []experiment.Cell) ([]*experiment.CellResult, Re
 				c.queue = append(c.queue, i)
 			}
 		}
+		// Longest-first dispatch: with heterogeneous cells (a 32× scale run
+		// next to a tiny golden cell) FIFO order lets one expensive straggler
+		// start last and dominate the makespan. Ordering by estimated cost
+		// keeps the big cells at the front where idle workers pick them up
+		// first; results are index-aligned, so scheduling order never changes
+		// the assembled output.
+		orderQueue(c.queue, cells)
 	}
 	c.started = true
 	hits := c.rep.CacheHits

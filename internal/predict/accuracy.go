@@ -32,17 +32,32 @@ func (a *AccuracyTracker) Clone() *AccuracyTracker {
 
 // Record updates p_a with the outcome of one prediction.
 func (a *AccuracyTracker) Record(correct bool) {
+	a.value = a.after(correct)
+}
+
+// ValueAfter previews Value() as it would be immediately after
+// Record(correct), without mutating the tracker — the side-effect-free read
+// the plan/commit pipeline uses to plan a contact before committing its
+// accuracy update. The arithmetic is Record's, applied to a copy, so the
+// previewed value is bit-identical to the committed one.
+func (a *AccuracyTracker) ValueAfter(correct bool) float64 {
+	return a.after(correct)
+}
+
+func (a *AccuracyTracker) after(correct bool) float64 {
+	v := a.value
 	if correct {
-		a.value *= a.Alpha
+		v *= a.Alpha
 	} else {
-		a.value *= a.Beta
+		v *= a.Beta
 	}
-	if a.value > a.Cap {
-		a.value = a.Cap
+	if v > a.Cap {
+		v = a.Cap
 	}
-	if a.value < a.Floor {
-		a.value = a.Floor
+	if v < a.Floor {
+		v = a.Floor
 	}
+	return v
 }
 
 // Evaluate measures predict-as-you-go accuracy of an order-k predictor on

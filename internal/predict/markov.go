@@ -26,14 +26,31 @@ type Markov struct {
 	// transition counts and tot[prev] the row totals — no context keys, no
 	// map traffic on the per-contact hot path. Rows allocate lazily; a
 	// node only pays for landmarks it has actually departed from.
+	//
+	// In dense mode the history is not materialised: only the current
+	// landmark and the observation count are kept (the order-1 context is
+	// the current landmark alone), and Predict is O(1) — each row's meta
+	// tracks its (count desc, landmark asc) argmax incrementally, which
+	// is exact because counts only ever increase.
 	n    int
 	rows [][]uint32
-	tot  []int
+	meta []rowMeta // per row: total and (count desc, landmark asc) argmax
+	cur  int       // current landmark (dense mode); -1 before first Observe
+	hlen int       // observations recorded (dense mode)
 	// dist memoizes Distribution between Observes: carrier selection
 	// queries the same distribution once per present node per forwarding
 	// pass, while the history only changes on arrival.
 	dist      []Prediction
 	distValid bool
+}
+
+// rowMeta is one dense row's derived state, packed so an Observe touches a
+// single cache line: the row total and the running (count desc, landmark
+// asc) argmax.
+type rowMeta struct {
+	tot int64  // total transitions out of this row
+	max uint32 // the maximum count in the row
+	arg int32  // landmark holding max; -1 while the row is empty
 }
 
 // NewMarkov returns an order-k predictor. k must be >= 1.
@@ -58,12 +75,16 @@ func (m *Markov) Order() int { return m.k }
 // and probabilities are the same, and the (probability, landmark) order is
 // strict, so the realised distribution cannot differ.
 func (m *Markov) SetDomain(n int) {
-	if n <= 0 || m.k != 1 || len(m.history) > 0 {
+	if n <= 0 || m.k != 1 || len(m.history) > 0 || m.rows != nil {
 		return
 	}
 	m.n = n
 	m.rows = make([][]uint32, n)
-	m.tot = make([]int, n)
+	m.meta = make([]rowMeta, n)
+	for i := range m.meta {
+		m.meta[i].arg = -1
+	}
+	m.cur = -1
 }
 
 // Clone returns an independent copy of the predictor (a pure read of the
@@ -96,7 +117,9 @@ func (m *Markov) Clone() *Markov {
 				cp.rows[i] = append([]uint32(nil), row...)
 			}
 		}
-		cp.tot = append([]int(nil), m.tot...)
+		cp.meta = append([]rowMeta(nil), m.meta...)
+		cp.cur = m.cur
+		cp.hlen = m.hlen
 	}
 	if len(m.dist) > 0 {
 		cp.dist = append([]Prediction(nil), m.dist...)
@@ -105,11 +128,19 @@ func (m *Markov) Clone() *Markov {
 }
 
 // HistoryLen returns the number of landmarks observed so far.
-func (m *Markov) HistoryLen() int { return len(m.history) }
+func (m *Markov) HistoryLen() int {
+	if m.rows != nil {
+		return m.hlen
+	}
+	return len(m.history)
+}
 
 // Current returns the most recently observed landmark, or -1 when the
 // history is empty.
 func (m *Markov) Current() int {
+	if m.rows != nil {
+		return m.cur
+	}
 	if len(m.history) == 0 {
 		return -1
 	}
@@ -137,32 +168,47 @@ func appendVarint(b []byte, v int) []byte {
 // length 1..k ending just before lm. Consecutive duplicates are ignored:
 // the history is a sequence of transits, so the landmark must change.
 func (m *Markov) Observe(lm int) {
-	n := len(m.history)
-	if n > 0 && m.history[n-1] == lm {
-		return
-	}
 	if m.rows != nil {
-		if n > 0 {
-			prev := m.history[n-1]
+		// Dense mode keeps no history slice: the order-1 context is the
+		// current landmark, so only cur and the transition counts matter.
+		prev := m.cur
+		if prev == lm {
+			return
+		}
+		if prev >= 0 {
 			row := m.rows[prev]
 			if row == nil {
 				row = make([]uint32, m.n)
 				m.rows[prev] = row
 			}
 			row[lm]++
-			m.tot[prev]++
-		}
-	} else {
-		for j := 1; j <= m.k && j <= n; j++ {
-			key := ctxKey(m.history[n-j:])
-			nm := m.counts[key]
-			if nm == nil {
-				nm = map[int]int{}
-				m.counts[key] = nm
+			mt := &m.meta[prev]
+			mt.tot++
+			// Counts only increase, so the (count desc, landmark asc)
+			// argmax can only move to the incremented cell.
+			if c := row[lm]; c > mt.max || (c == mt.max && int32(lm) < mt.arg) {
+				mt.max = c
+				mt.arg = int32(lm)
 			}
-			nm[lm]++
-			m.ctxTotal[key]++
 		}
+		m.cur = lm
+		m.hlen++
+		m.distValid = false
+		return
+	}
+	n := len(m.history)
+	if n > 0 && m.history[n-1] == lm {
+		return
+	}
+	for j := 1; j <= m.k && j <= n; j++ {
+		key := ctxKey(m.history[n-j:])
+		nm := m.counts[key]
+		if nm == nil {
+			nm = map[int]int{}
+			m.counts[key] = nm
+		}
+		nm[lm]++
+		m.ctxTotal[key]++
 	}
 	m.history = append(m.history, lm)
 	m.distValid = false
@@ -193,23 +239,25 @@ func (m *Markov) Distribution() []Prediction {
 }
 
 func (m *Markov) computeDistribution(out []Prediction) []Prediction {
-	n := len(m.history)
-	if n == 0 {
-		return nil
-	}
 	if m.rows != nil {
-		prev := m.history[n-1]
-		total := m.tot[prev]
+		if m.cur < 0 {
+			return nil
+		}
+		total := m.meta[m.cur].tot
 		if total == 0 {
 			return nil
 		}
-		for lm, c := range m.rows[prev] {
+		for lm, c := range m.rows[m.cur] {
 			if c > 0 {
 				out = append(out, Prediction{Landmark: lm, Probability: float64(c) / float64(total)})
 			}
 		}
 		sortPredictions(out)
 		return out
+	}
+	n := len(m.history)
+	if n == 0 {
+		return nil
 	}
 	for j := min(m.k, n); j >= 1; j-- {
 		key := ctxKey(m.history[n-j:])
@@ -247,11 +295,48 @@ func sortPredictions(out []Prediction) {
 // Predict returns the most probable next landmark and its probability.
 // ok is false when the predictor has no matching context.
 func (m *Markov) Predict() (lm int, p float64, ok bool) {
+	if m.rows != nil {
+		// O(1): the per-row argmax is maintained on Observe with the same
+		// (count desc, landmark asc) order Distribution sorts by, and the
+		// probability is the identical float division the distribution
+		// head would carry — no scan, no sort.
+		if m.cur < 0 {
+			return -1, 0, false
+		}
+		mt := m.meta[m.cur]
+		if mt.tot == 0 {
+			return -1, 0, false
+		}
+		return int(mt.arg), float64(mt.max) / float64(mt.tot), true
+	}
 	dist := m.Distribution()
 	if len(dist) == 0 {
 		return -1, 0, false
 	}
 	return dist[0].Landmark, dist[0].Probability, true
+}
+
+// PredictAfter previews Predict's result as it would be immediately after
+// Observe(lm), without mutating the predictor — the side-effect-free read
+// the plan/commit pipeline uses to plan a contact before committing its
+// observation. Only dense order-1 mode supports previews; ok2 is false
+// otherwise (callers must then fall back to Observe-then-Predict).
+func (m *Markov) PredictAfter(lm int) (next int, p float64, ok, ok2 bool) {
+	if m.rows == nil {
+		return -1, 0, false, false
+	}
+	if m.cur == lm {
+		// Duplicate observation: nothing changes.
+		next, p, ok = m.Predict()
+		return next, p, ok, true
+	}
+	// After Observe(lm) the context is lm; the transition cur->lm lands in
+	// row cur, which the prediction does not read.
+	mt := m.meta[lm]
+	if mt.tot == 0 || m.rows[lm] == nil {
+		return -1, 0, false, true
+	}
+	return int(mt.arg), float64(mt.max) / float64(mt.tot), true, true
 }
 
 // ProbabilityOf returns the predicted probability that the next landmark is

@@ -34,6 +34,35 @@ type BandwidthTable struct {
 	repSeq map[int]int
 	sym    map[int]float64
 	symSeq map[int]int
+
+	// Dense fast path, enabled by SetDomain: landmark indices are small
+	// and dense, so per-neighbor state lives in flat arrays instead of
+	// four maps — applyEWMA is the hottest routing read/write pair on the
+	// per-unit path and map hashing dominated it.
+	n      int
+	repV   []float64
+	symV   []float64
+	repS   []int
+	symS   []int
+	repHas []bool
+	symHas []bool
+}
+
+// SetDomain declares the neighbor index domain [0, n), switching the table
+// to dense per-neighbor arrays. It must be called before any Apply and is
+// a no-op otherwise. Estimates are bit-identical to the map path: the same
+// EWMA folds in the same order, only the storage changes.
+func (t *BandwidthTable) SetDomain(n int) {
+	if n <= 0 || t.repV != nil || len(t.rep) > 0 || len(t.sym) > 0 {
+		return
+	}
+	t.n = n
+	t.repV = make([]float64, n)
+	t.symV = make([]float64, n)
+	t.repS = make([]int, n)
+	t.symS = make([]int, n)
+	t.repHas = make([]bool, n)
+	t.symHas = make([]bool, n)
 }
 
 // NewBandwidthTable returns a table with weight rho (clamped into (0,1]).
@@ -54,13 +83,34 @@ func NewBandwidthTable(rho float64) *BandwidthTable {
 // unitSeq into the authoritative estimate. It reports whether the report
 // was fresh.
 func (t *BandwidthTable) Apply(nbr int, count float64, unitSeq int) bool {
+	if t.repV != nil {
+		return applyEWMADense(t.repV, t.repS, t.repHas, t.Rho, nbr, count, unitSeq)
+	}
 	return applyEWMA(t.rep, t.repSeq, t.Rho, nbr, count, unitSeq)
 }
 
 // ApplySymmetric folds the locally observed reverse-direction count in as
 // the O3 fallback estimate.
 func (t *BandwidthTable) ApplySymmetric(nbr int, count float64, unitSeq int) bool {
+	if t.repV != nil {
+		return applyEWMADense(t.symV, t.symS, t.symHas, t.Rho, nbr, count, unitSeq)
+	}
 	return applyEWMA(t.sym, t.symSeq, t.Rho, nbr, count, unitSeq)
+}
+
+func applyEWMADense(bw []float64, seq []int, has []bool, rho float64, nbr int, count float64, unitSeq int) bool {
+	if has[nbr] {
+		if unitSeq <= seq[nbr] {
+			return false
+		}
+		seq[nbr] = unitSeq
+		bw[nbr] = rho*count + (1-rho)*bw[nbr]
+		return true
+	}
+	has[nbr] = true
+	seq[nbr] = unitSeq
+	bw[nbr] = count
+	return true
 }
 
 func applyEWMA(bw map[int]float64, seq map[int]int, rho float64, nbr int, count float64, unitSeq int) bool {
@@ -98,6 +148,15 @@ func (t *BandwidthTable) Clone() *BandwidthTable {
 	for n, s := range t.symSeq {
 		cp.symSeq[n] = s
 	}
+	if t.repV != nil {
+		cp.n = t.n
+		cp.repV = append([]float64(nil), t.repV...)
+		cp.symV = append([]float64(nil), t.symV...)
+		cp.repS = append([]int(nil), t.repS...)
+		cp.symS = append([]int(nil), t.symS...)
+		cp.repHas = append([]bool(nil), t.repHas...)
+		cp.symHas = append([]bool(nil), t.symHas...)
+	}
 	return cp
 }
 
@@ -105,6 +164,15 @@ func (t *BandwidthTable) Clone() *BandwidthTable {
 // value when one exists, the symmetric fallback otherwise (0 when neither
 // is known).
 func (t *BandwidthTable) Bandwidth(nbr int) float64 {
+	if t.repV != nil {
+		if t.repHas[nbr] {
+			return t.repV[nbr]
+		}
+		if t.symHas[nbr] {
+			return t.symV[nbr]
+		}
+		return 0
+	}
 	if b, ok := t.rep[nbr]; ok {
 		return b
 	}
@@ -112,10 +180,25 @@ func (t *BandwidthTable) Bandwidth(nbr int) float64 {
 }
 
 // Reported returns whether a real report has ever been applied for nbr.
-func (t *BandwidthTable) Reported(nbr int) bool { _, ok := t.rep[nbr]; return ok }
+func (t *BandwidthTable) Reported(nbr int) bool {
+	if t.repV != nil {
+		return t.repHas[nbr]
+	}
+	_, ok := t.rep[nbr]
+	return ok
+}
 
 // Neighbors returns the neighbours with positive bandwidth, sorted.
 func (t *BandwidthTable) Neighbors() []int {
+	if t.repV != nil {
+		out := make([]int, 0, t.n)
+		for n := 0; n < t.n; n++ {
+			if (t.repHas[n] && t.repV[n] > 0) || (!t.repHas[n] && t.symHas[n] && t.symV[n] > 0) {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
 	set := map[int]bool{}
 	for n, b := range t.rep {
 		if b > 0 {
@@ -153,17 +236,40 @@ type ArrivalCounter struct {
 	counts map[int]int
 	// rep is the reusable report buffer handed out by Roll.
 	rep []BandwidthReport
+
+	// Dense fast path (SetDomain): arrivals are the single hottest router
+	// write — one map assign per contact — so the per-landmark counts
+	// live in a flat array once the domain is known.
+	cnt   []int32
+	known []bool // Roll scratch: marks knownNeighbors during the sweep
 }
 
 // NewArrivalCounter returns an empty counter.
 func NewArrivalCounter() *ArrivalCounter { return &ArrivalCounter{counts: map[int]int{}} }
 
+// SetDomain declares the previous-landmark domain [0, n), switching the
+// counter to a flat count array. Must be called while the counter is
+// empty; a no-op otherwise. Roll output is bit-identical: same reports,
+// same ascending-From order.
+func (c *ArrivalCounter) SetDomain(n int) {
+	if n <= 0 || c.cnt != nil || len(c.counts) > 0 {
+		return
+	}
+	c.cnt = make([]int32, n)
+	c.known = make([]bool, n)
+}
+
 // Record notes one node arrival whose previous landmark was from.
 // Negative from (no previous landmark) is ignored.
 func (c *ArrivalCounter) Record(from int) {
-	if from >= 0 {
-		c.counts[from]++
+	if from < 0 {
+		return
 	}
+	if c.cnt != nil {
+		c.cnt[from]++
+		return
+	}
+	c.counts[from]++
 }
 
 // Clone returns an independent copy of the counter (a pure read of the
@@ -172,6 +278,10 @@ func (c *ArrivalCounter) Clone() *ArrivalCounter {
 	cp := &ArrivalCounter{counts: make(map[int]int, len(c.counts))}
 	for from, n := range c.counts {
 		cp.counts[from] = n
+	}
+	if c.cnt != nil {
+		cp.cnt = append([]int32(nil), c.cnt...)
+		cp.known = make([]bool, len(c.known))
 	}
 	return cp
 }
@@ -192,6 +302,23 @@ type BandwidthReport struct {
 // callers must consume or copy it before then.
 func (c *ArrivalCounter) Roll(me, seq int, knownNeighbors []int) []BandwidthReport {
 	out := c.rep[:0]
+	if c.cnt != nil {
+		// One ascending sweep realises the same sorted-by-From report set
+		// the map path builds: counted froms with their counts, plus
+		// zero-count reports for known neighbours that went quiet.
+		for _, from := range knownNeighbors {
+			c.known[from] = true
+		}
+		for from := range c.cnt {
+			if n := c.cnt[from]; n > 0 || c.known[from] {
+				out = append(out, BandwidthReport{From: from, To: me, Count: int(n), Seq: seq})
+				c.cnt[from] = 0
+			}
+			c.known[from] = false
+		}
+		c.rep = out
+		return out
+	}
 	for from, n := range c.counts {
 		out = append(out, BandwidthReport{From: from, To: me, Count: n, Seq: seq})
 	}

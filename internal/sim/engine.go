@@ -463,6 +463,44 @@ func (e *Engine) runEvents(until trace.Time) {
 	}
 }
 
+// contactBudget derives an arrival's transfer budget from the visit
+// duration and the link rate, capped by MaxContactTransfers. It reads no
+// mutable engine state, so planners can evaluate it ahead of the event.
+func (e *Engine) contactBudget(v trace.Visit) int {
+	dur := v.End - v.Start
+	budget := int(e.ctx.Cfg.LinkRate * float64(dur))
+	if budget < 1 {
+		budget = 1
+	}
+	if e.ctx.Cfg.MaxContactTransfers > 0 && budget > e.ctx.Cfg.MaxContactTransfers {
+		budget = e.ctx.Cfg.MaxContactTransfers
+	}
+	return budget
+}
+
+// planContact builds the contact a planner sees for an upcoming arrival:
+// the same node, landmark, interval and budget prepareArrive will
+// establish, with no engine state mutated — presence, visit bookkeeping and
+// the expiry sweep happen only when the event commits.
+func (e *Engine) planContact(v trace.Visit) *Contact {
+	return &Contact{Node: e.ctx.Nodes[v.Node], Landmark: v.Landmark, Start: v.Start, End: v.End, Budget: e.contactBudget(v)}
+}
+
+// prepareArrive performs the engine half of an arrival — visit bookkeeping,
+// presence insertion, budget derivation, the expiry sweep — and returns the
+// contact. The router callback is the caller's: apply invokes OnContact,
+// the plan/commit pipeline invokes CommitContact with a validated plan.
+func (e *Engine) prepareArrive(v trace.Visit) *Contact {
+	n := e.ctx.Nodes[v.Node]
+	n.At = v.Landmark
+	n.VisitStart = v.Start
+	n.VisitEnd = v.End
+	e.addPresent(v.Landmark, n)
+	c := &Contact{Node: n, Landmark: v.Landmark, Start: v.Start, End: v.End, Budget: e.contactBudget(v)}
+	e.ctx.ExpireBuffers(n, e.ctx.Stations[v.Landmark])
+	return c
+}
+
 // apply executes one event. The caller has already advanced e.now to the
 // event's timestamp; the sharded engine calls apply directly from its
 // epoch-merge loop, so every state transition — presence sets, router
@@ -470,22 +508,7 @@ func (e *Engine) runEvents(until trace.Time) {
 func (e *Engine) apply(ev event) {
 	switch ev.kind {
 	case evArrive:
-		v := ev.visit
-		n := e.ctx.Nodes[v.Node]
-		n.At = v.Landmark
-		n.VisitStart = v.Start
-		n.VisitEnd = v.End
-		e.addPresent(v.Landmark, n)
-		dur := v.End - v.Start
-		budget := int(e.ctx.Cfg.LinkRate * float64(dur))
-		if budget < 1 {
-			budget = 1
-		}
-		if e.ctx.Cfg.MaxContactTransfers > 0 && budget > e.ctx.Cfg.MaxContactTransfers {
-			budget = e.ctx.Cfg.MaxContactTransfers
-		}
-		c := &Contact{Node: n, Landmark: v.Landmark, Start: v.Start, End: v.End, Budget: budget}
-		e.ctx.ExpireBuffers(n, e.ctx.Stations[v.Landmark])
+		c := e.prepareArrive(ev.visit)
 		e.router.OnContact(e.ctx, c)
 	case evDepart:
 		v := ev.visit

@@ -1,0 +1,253 @@
+package sim
+
+import "sync"
+
+// Parallel apply: the plan/commit execution pipeline of the sharded engine.
+//
+// The apply loop is inherently serial — router state is global and the
+// bit-identity contract fixes the callback order — but most of the work of
+// an arrival (candidate classification, eligibility sorts, carrier
+// selection) is a pure function of state the event does not share with its
+// neighbours in the event order. The pipeline exploits that: events are
+// drawn from the merged cursors in windows; every arrival in the window is
+// planned against the window-start state (read-only, fanned across planner
+// goroutines when Workers > 1); then a single committer walks the window in
+// the exact total event order, revalidates each plan's read set, and either
+// replays the plan through the real transfer primitives or falls back to
+// inline execution.
+//
+// Validation is by conflict domain, and the conflict domain is the
+// landmark. Every mutation an event performs is confined to (a) the state
+// of one landmark L — its tables, its station buffer, the buffers of nodes
+// presently at L — or (b) the private state of the event's own node. A
+// node's buffer mutated while present at L can only be re-read by a plan
+// for that node's next arrival, which its intervening departure (stamping
+// both the node and L) always precedes in the event order. So stamping
+// (node, landmark) per visit event, the source landmark per generation, and
+// globally for unit boundaries and timers covers every read a plan makes;
+// a plan for arrive(n, L) is valid iff neither n nor L was stamped since
+// the window began. The second, cheaper validation layer lives in the
+// router: the committed prologue (control-state delivery) may change the
+// landmark's routing table, which the plan also read — CommitContact
+// compares the table generation and falls back to inline forwarding when
+// it moved.
+
+// ContactPlanner is implemented by routers that support the speculative
+// plan/commit split of contact processing. The contract: for a contact
+// whose read set is unchanged between plan and commit, CommitContact with
+// the plan must leave the simulation in a state bit-identical to
+// OnContact's.
+type ContactPlanner interface {
+	Router
+	// PlanPrepare runs serially before a batch of PlanContact calls for
+	// this contact. It performs any state mutation planning would otherwise
+	// need (pending table recomputation, buffer compaction) so PlanContact
+	// is a pure read, and reports whether the contact is plannable at all —
+	// false routes the event to inline OnContact execution.
+	PlanPrepare(ctx *Context, c *Contact) bool
+	// PlanContact precomputes the contact's forwarding plan against current
+	// state. It must not mutate any shared state (multiple PlanContact
+	// calls may run concurrently after their PlanPrepares); nil means the
+	// contact needs inline execution.
+	PlanContact(ctx *Context, c *Contact) any
+	// CommitContact applies a validated plan: the contact prologue runs
+	// inline, then the planned transfer list is replayed through the real
+	// transfer primitives. It reports false when the prologue invalidated
+	// the plan and the contact was executed inline instead (either way the
+	// contact is fully processed, and the plan is consumed).
+	CommitContact(ctx *Context, c *Contact, plan any) bool
+	// DiscardPlan releases a plan that will not be committed.
+	DiscardPlan(plan any)
+}
+
+// winEv is one window slot: the event, and — for a planned arrival — the
+// plan-time contact and the plan itself.
+type winEv struct {
+	ev   event
+	pc   *Contact
+	plan any
+}
+
+// applyEpochPlanned is applyEpoch with the plan/commit pipeline: gather a
+// window from the static cursors, plan its arrivals, commit in order.
+// Timer events are not known at gather time (commits schedule them), so
+// they stay out of the window and interleave during the commit walk.
+func (s *Sharded) applyEpochPlanned(b epochBatch) {
+	e := s.e
+	bi := 0
+	for {
+		// Gather up to a window of events from the three static cursors —
+		// the same merge applyEpoch runs, minus the timer heap.
+		s.win = s.win[:0]
+		for len(s.win) < s.planWindow {
+			var best event
+			from := 0 // 0 none, 1 batch, 2 unit, 3 generate
+			if bi < len(b.events) {
+				best, from = b.events[bi], 1
+			}
+			if s.unit > 0 && s.unitT <= e.end {
+				ue := event{t: s.unitT, kind: evUnit, seq: s.unitN, unit: s.unitN}
+				if from == 0 || ue.before(&best) {
+					best, from = ue, 2
+				}
+			}
+			if s.gi < len(s.pkts) {
+				p := s.pkts[s.gi]
+				ge := event{t: p.Created, kind: evGenerate, seq: s.gi, pkt: p}
+				if from == 0 || ge.before(&best) {
+					best, from = ge, 3
+				}
+			}
+			if from == 0 || best.t >= b.bound {
+				break
+			}
+			switch from {
+			case 1:
+				bi++
+			case 2:
+				s.unitN++
+				s.unitT += s.unit
+			case 3:
+				s.gi++
+			}
+			s.win = append(s.win, winEv{ev: best})
+		}
+		if len(s.win) == 0 {
+			// Static cursors exhausted up to the bound; drain due timers
+			// (which may schedule more timers) and finish the batch.
+			for e.events.Len() > 0 && e.events.ev[0].t < b.bound {
+				tev := e.events.pop()
+				e.now = tev.t
+				e.apply(tev)
+				s.stats.Events++
+			}
+			return
+		}
+		s.planWindowEvents()
+		s.commitWindow()
+	}
+}
+
+// planWindowEvents plans the window's arrivals: a pre-filter walks the window
+// simulating the commit-time stamps (an arrival already conflicting with an
+// earlier static event cannot validate, so planning it is wasted work),
+// serial PlanPrepare calls make the remaining plans' reads pure, and the
+// planners run — fanned across goroutines when the shard count allows.
+func (s *Sharded) planWindowEvents() {
+	s.tick++
+	tick := s.tick
+	viable := s.viable[:0]
+	ginv := false
+	for wi := range s.win {
+		ev := &s.win[wi].ev
+		switch ev.kind {
+		case evArrive:
+			v := ev.visit
+			s.stats.Planned++
+			if !ginv && s.lmStamp[v.Landmark] != tick && s.nodeStamp[v.Node] != tick {
+				viable = append(viable, wi)
+			} else {
+				s.stats.PlanConflicts++
+			}
+			s.lmStamp[v.Landmark] = tick
+			s.nodeStamp[v.Node] = tick
+		case evDepart:
+			s.lmStamp[ev.visit.Landmark] = tick
+			s.nodeStamp[ev.visit.Node] = tick
+		case evGenerate:
+			s.lmStamp[ev.pkt.Src] = tick
+		case evUnit:
+			ginv = true
+		}
+	}
+	prepared := viable[:0]
+	for _, wi := range viable {
+		c := s.e.planContact(s.win[wi].ev.visit)
+		if s.pl.PlanPrepare(s.e.ctx, c) {
+			s.win[wi].pc = c
+			prepared = append(prepared, wi)
+		} else {
+			s.stats.PlanBails++
+		}
+	}
+	s.viable = prepared
+	if nw := s.stats.Workers; nw > 1 && len(prepared) > 1 {
+		if nw > len(prepared) {
+			nw = len(prepared)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < nw; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for k := g; k < len(prepared); k += nw {
+					wi := prepared[k]
+					s.win[wi].plan = s.pl.PlanContact(s.e.ctx, s.win[wi].pc)
+				}
+			}(g)
+		}
+		wg.Wait()
+	} else {
+		for _, wi := range prepared {
+			s.win[wi].plan = s.pl.PlanContact(s.e.ctx, s.win[wi].pc)
+		}
+	}
+	for _, wi := range prepared {
+		if s.win[wi].plan == nil {
+			s.stats.PlanBails++
+		}
+	}
+}
+
+// commitWindow walks the window in the total event order, interleaving due
+// timers, validating each plan against the stamps accumulated since the
+// window began, and committing or falling back inline.
+func (s *Sharded) commitWindow() {
+	e := s.e
+	s.tick++
+	tick := s.tick
+	ginv := false
+	for wi := range s.win {
+		it := &s.win[wi]
+		// Timers scheduled by earlier commits (or carried over) fire in
+		// their total-order slot; anything they touch is unknown, so they
+		// invalidate every remaining plan in the window.
+		for e.events.Len() > 0 && e.events.ev[0].before(&it.ev) {
+			tev := e.events.pop()
+			e.now = tev.t
+			e.apply(tev)
+			s.stats.Events++
+			ginv = true
+		}
+		ev := it.ev
+		e.now = ev.t
+		if it.plan != nil {
+			v := ev.visit
+			if !ginv && s.lmStamp[v.Landmark] != tick && s.nodeStamp[v.Node] != tick {
+				c := e.prepareArrive(v)
+				if s.pl.CommitContact(e.ctx, c, it.plan) {
+					s.stats.PlanHits++
+				} else {
+					s.stats.PlanConflicts++
+				}
+			} else {
+				s.pl.DiscardPlan(it.plan)
+				s.stats.PlanConflicts++
+				e.apply(ev)
+			}
+			it.plan = nil
+		} else {
+			e.apply(ev)
+		}
+		switch ev.kind {
+		case evArrive, evDepart:
+			s.lmStamp[ev.visit.Landmark] = tick
+			s.nodeStamp[ev.visit.Node] = tick
+		case evGenerate:
+			s.lmStamp[ev.pkt.Src] = tick
+		case evUnit:
+			ginv = true
+		}
+		s.stats.Events++
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/trace"
@@ -51,6 +52,15 @@ type Sharded struct {
 	cur    []int      // k-way merge cursors, one per shard
 	bufs   [2][]event // double-buffered epoch batches (prefetch pipeline)
 
+	// Plan/commit pipeline state (nil pl disables it; see parallel.go).
+	pl         ContactPlanner
+	planWindow int
+	win        []winEv
+	viable     []int
+	lmStamp    []int // per landmark: tick of the last event touching it
+	nodeStamp  []int // per node: tick of the last event touching it
+	tick       int
+
 	stats ShardStats
 }
 
@@ -63,6 +73,17 @@ type ShardConfig struct {
 	// Epoch is the merge granularity; <= 0 means one day. Smaller epochs
 	// lower peak memory, larger epochs amortize merge overhead.
 	Epoch trace.Time
+	// ParallelApply enables the plan/commit execution pipeline (parallel.go)
+	// when the router implements ContactPlanner: arrivals are planned
+	// read-only against window-start state — across planner goroutines when
+	// Workers > 1 — and a serial committer revalidates and applies the
+	// plans. Results stay bit-identical for every worker count; the stats
+	// report how many plans hit, conflicted, or bailed to inline execution.
+	ParallelApply bool
+	// PlanWindow is the number of events gathered per planning window;
+	// <= 0 means 64. Larger windows plan further ahead but conflict more
+	// (any two same-landmark events in a window invalidate the later one).
+	PlanWindow int
 }
 
 // ShardStats reports what a sharded run processed.
@@ -71,25 +92,87 @@ type ShardStats struct {
 	Epochs  int
 	Visits  int
 	Events  int
+	// Plan/commit pipeline counters (zero unless ParallelApply is on):
+	// arrivals considered, plans committed via replay, plans invalidated by
+	// a conflicting event or a prologue table change, and contacts the
+	// planner declined (unsupported configuration, possible expiry, …).
+	Planned       int
+	PlanHits      int
+	PlanConflicts int
+	PlanBails     int
 }
 
 // shard owns the visit events of the landmarks assigned to it. arrives is
 // already sorted (the stream order restricted to a subset preserves the
-// total order); departs wait in a per-shard heap until their epoch.
+// total order); departs wait in per-epoch buckets until their epoch.
 type shard struct {
 	arrives []event
-	departs eventHeap
+	departs departBuckets
 	due     []event
 	run     []event
+}
+
+// departBuckets holds pending departures bucketed by the epoch their
+// departure time falls in. Pops happen only at epoch boundaries, so a
+// bucket needs no internal order until its epoch drains: a push is one
+// O(1) append and a drain sorts the due range once — replacing a per-shard
+// binary heap whose O(log n) 88-byte sift copies dominated epoch assembly
+// at scale (the heap held one entry per concurrently-present node).
+type departBuckets struct {
+	start trace.Time
+	epoch trace.Time
+	base  int       // epoch index of bkt[0]
+	bkt   [][]event // pending departures, one bucket per epoch
+}
+
+func (q *departBuckets) push(ev event) {
+	idx := int((ev.t-q.start)/q.epoch) - q.base
+	for idx >= len(q.bkt) {
+		q.bkt = append(q.bkt, nil)
+	}
+	q.bkt[idx] = append(q.bkt[idx], ev)
+}
+
+// popDue appends every pending departure before bound to due in the total
+// event order (bound aligns with an epoch boundary, or maxTime to drain).
+func (q *departBuckets) popDue(bound trace.Time, due []event) []event {
+	k := len(q.bkt)
+	if bound != maxTime {
+		if k2 := int((bound-q.start)/q.epoch) - q.base; k2 < k {
+			k = k2
+		}
+		if k < 0 {
+			k = 0
+		}
+	}
+	pre := len(due)
+	for i := 0; i < k; i++ {
+		due = append(due, q.bkt[i]...)
+		q.bkt[i] = q.bkt[i][:0]
+	}
+	if k > 0 {
+		// Rotate the drained buckets to the tail for reuse.
+		q.bkt = append(q.bkt[k:], q.bkt[:k]...)
+		q.base += k
+	}
+	// Departures share one event kind, so (t, seq) is the heap's total pop
+	// order; seq is unique, making the sort's realised order unambiguous.
+	slices.SortFunc(due[pre:], func(a, b event) int {
+		if a.t != b.t {
+			if a.t < b.t {
+				return -1
+			}
+			return 1
+		}
+		return a.seq - b.seq
+	})
+	return due
 }
 
 // buildRun assembles the shard's sorted event run for the epoch bounded by
 // popBound: due departures popped in order, merged with the arrivals.
 func (sh *shard) buildRun(popBound trace.Time) {
-	sh.due = sh.due[:0]
-	for sh.departs.Len() > 0 && sh.departs.ev[0].t < popBound {
-		sh.due = append(sh.due, sh.departs.pop())
-	}
+	sh.due = sh.departs.popDue(popBound, sh.due[:0])
 	sh.run = sh.run[:0]
 	ai, di := 0, 0
 	for ai < len(sh.arrives) && di < len(sh.due) {
@@ -189,7 +272,21 @@ func NewSharded(open func() trace.Source, r Router, w *Workload, cfg Config, sh 
 		shards: make([]shard, workers),
 		cur:    make([]int, workers),
 	}
+	for i := range s.shards {
+		s.shards[i].departs = departBuckets{start: start, epoch: epoch}
+	}
 	s.stats.Workers = workers
+	if sh.ParallelApply {
+		if pl, ok := r.(ContactPlanner); ok {
+			s.pl = pl
+			s.planWindow = sh.PlanWindow
+			if s.planWindow <= 0 {
+				s.planWindow = 64
+			}
+			s.lmStamp = make([]int, info.NumLandmarks)
+			s.nodeStamp = make([]int, info.NumNodes)
+		}
+	}
 	if w != nil {
 		// Identical call to the classic constructor's: ctx.Rand is fresh
 		// and consumed only here, so the packet schedule is bit-identical.
@@ -250,8 +347,13 @@ func (s *Sharded) buildEpoch(epEnd trace.Time, buf []event) (batch []event, last
 	wg.Wait()
 
 	// K-way merge of the shard runs by the total event order. The shard
-	// count is small and bounded, so a linear scan per pop is cheap.
+	// count is small and bounded, so a linear scan per pop is cheap. One
+	// shard needs no merge at all — its run is the batch (copied, since
+	// the run buffer is reused while the batch is still being applied).
 	batch = buf[:0]
+	if nsh == 1 {
+		return append(batch, s.shards[0].run...), last
+	}
 	for i := range s.cur {
 		s.cur[i] = 0
 	}
@@ -278,6 +380,10 @@ func (s *Sharded) buildEpoch(epEnd trace.Time, buf []event) (batch []event, last
 // merged visit events with the unit, generation and timer cursors by the
 // total event order.
 func (s *Sharded) applyEpoch(b epochBatch) {
+	if s.pl != nil {
+		s.applyEpochPlanned(b)
+		return
+	}
 	e := s.e
 	bi := 0
 	for {

@@ -3,7 +3,7 @@ package synth
 import (
 	"math/rand"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/trace"
@@ -201,8 +201,19 @@ func (s *streamSource) advance() {
 		s.batch = append(s.batch, ns.buf[:k]...)
 		ns.buf = append(ns.buf[:0], ns.buf[k:]...)
 	}
-	sort.Slice(s.batch, func(i, j int) bool {
-		return trace.VisitBefore(s.batch[i], s.batch[j])
+	// (Start, Node, Landmark) is a strict total order over distinct visits,
+	// so the unstable non-reflective sort realises the canonical sequence.
+	slices.SortFunc(s.batch, func(a, b trace.Visit) int {
+		if a.Start != b.Start {
+			if a.Start < b.Start {
+				return -1
+			}
+			return 1
+		}
+		if a.Node != b.Node {
+			return a.Node - b.Node
+		}
+		return a.Landmark - b.Landmark
 	})
 
 	s.now = until
