@@ -12,6 +12,13 @@
 //	dtnflow-inspect -in run.jsonl -loads          # per-landmark load table
 //	dtnflow-inspect -in run.jsonl -packet 1234    # one packet's path and fate
 //	dtnflow-inspect -in run.jsonl -top 20         # widen the congested-link list
+//	dtnflow-inspect -in run.jsonl -resilience     # per-disruption impact report
+//
+// -resilience reads the disruption timeline a disrupted run records in
+// its meta header (dtnflow-sim -disrupt ... -telemetry ...) and prints,
+// for every disruption event, the routing-table re-convergence (table
+// recomputes, settle time, total drift) and the before/after packet
+// outcomes in a window around the event (-window sets its length).
 package main
 
 import (
@@ -33,6 +40,8 @@ func main() {
 		loads  = flag.Bool("loads", false, "print the per-landmark load table")
 		packet = flag.Int("packet", -1, "print one packet's full lifecycle by ID")
 		topK   = flag.Int("top", 10, "number of congested transit links to list")
+		resil  = flag.Bool("resilience", false, "print the per-disruption resilience report")
+		window = flag.Duration("window", 0, "resilience comparison window (0 = the run's time unit)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -59,8 +68,48 @@ func main() {
 		printFlows(log)
 	case *loads:
 		printLoads(log)
+	case *resil:
+		printResilience(log, trace.Time((*window).Seconds()))
 	default:
 		printSummary(log, *topK)
+	}
+}
+
+// printResilience renders telemetry.Log.Resilience as one block per
+// disruption event: what the routing tables did in the window after it,
+// and how the packet outcomes moved against the window before it.
+func printResilience(log *telemetry.Log, window trace.Time) {
+	impacts := log.Resilience(window)
+	if len(impacts) == 0 {
+		fmt.Println("no disruption timeline in this recording (run dtnflow-sim with -disrupt and -telemetry)")
+		return
+	}
+	if window <= 0 {
+		if window = log.Meta.Unit; window <= 0 {
+			window = trace.Day
+		}
+	}
+	fmt.Printf("resilience report: %d disruption events, window %s\n",
+		len(impacts), metrics.FormatDuration(float64(window)))
+	for _, im := range impacts {
+		id := fmt.Sprintf("%s(%d", im.Kind, im.A)
+		if im.B != 0 {
+			id += fmt.Sprintf(",%d", im.B)
+		}
+		id += ")"
+		fmt.Printf("\nt=%-10d %s\n", int64(im.T), id)
+		if im.Recomputes == 0 {
+			fmt.Println("  tables:    no recompute inside the window")
+		} else {
+			fmt.Printf("  tables:    %d recomputes, settled after %s, total drift %.3f\n",
+				im.Recomputes, metrics.FormatDuration(float64(im.Settle)), im.TableDrift)
+		}
+		fmt.Printf("  before:    %4d generated, %4d delivered, %4d dropped, %5d forwarded, mean delay %s\n",
+			im.Before.Generated, im.Before.Delivered, im.Before.Dropped, im.Before.Forwarded,
+			metrics.FormatDuration(im.Before.MeanDelay))
+		fmt.Printf("  during:    %4d generated, %4d delivered, %4d dropped, %5d forwarded, mean delay %s\n",
+			im.During.Generated, im.During.Delivered, im.During.Dropped, im.During.Forwarded,
+			metrics.FormatDuration(im.During.MeanDelay))
 	}
 }
 

@@ -17,6 +17,7 @@
 //	dtnflow-scale -engine classic -mult 1     # materialized A/B reference
 //	dtnflow-scale -engine both                # sharded/classic equivalence check
 //	dtnflow-scale -workers 8 -epoch-days 0.5  # tuning knobs
+//	dtnflow-scale -disrupt storm -engine both # disrupted equivalence check
 //	dtnflow-scale -json                       # machine-readable result
 //
 // With -engine both the command runs the spec on both engines and
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/disrupt"
 	"repro/internal/experiment"
 	"repro/internal/prof"
 	"repro/internal/sim"
@@ -40,22 +42,23 @@ import (
 
 func main() {
 	var (
-		scenario  = flag.String("scenario", "DART", "scaled scenario: DART or DNET")
-		mult      = flag.Int("mult", 1, "population multiplier (landmarks stay fixed)")
-		method    = flag.String("method", "DTN-FLOW", "routing method")
-		engine    = flag.String("engine", "sharded", "simulation path: sharded, classic, or both (equivalence check)")
-		workers   = flag.Int("workers", 0, "shard/fill workers (0 = GOMAXPROCS)")
-		epochDays = flag.Float64("epoch-days", 1, "sharded merge epoch in days")
-		parApply  = flag.Bool("parallel-apply", false, "enable the plan/commit execution pipeline (bit-identical; reports plan hit/conflict counters)")
-		planWin   = flag.Int("plan-window", 0, "events per planning window (0 = default)")
-		rate      = flag.Float64("rate", 0, "packets/day network-wide (0 = scenario default)")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		asJSON    = flag.Bool("json", false, "emit the result as JSON")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
-		execTrace = flag.String("trace", "", "write an execution trace to this file")
-		blockProf = flag.String("blockprofile", "", "write a goroutine blocking profile to this file")
-		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile to this file")
+		scenario   = flag.String("scenario", "DART", "scaled scenario: DART or DNET")
+		mult       = flag.Int("mult", 1, "population multiplier (landmarks stay fixed)")
+		method     = flag.String("method", "DTN-FLOW", "routing method")
+		engine     = flag.String("engine", "sharded", "simulation path: sharded, classic, or both (equivalence check)")
+		workers    = flag.Int("workers", 0, "shard/fill workers (0 = GOMAXPROCS)")
+		epochDays  = flag.Float64("epoch-days", 1, "sharded merge epoch in days")
+		parApply   = flag.Bool("parallel-apply", false, "enable the plan/commit execution pipeline (bit-identical; reports plan hit/conflict counters)")
+		planWin    = flag.Int("plan-window", 0, "events per planning window (0 = default)")
+		rate       = flag.Float64("rate", 0, "packets/day network-wide (0 = scenario default)")
+		disruptArg = flag.String("disrupt", "", "disruption preset (outage, link-sever, link-degrade, churn, drift, flash-crowd, storm) or a JSON spec file")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		asJSON     = flag.Bool("json", false, "emit the result as JSON")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+		execTrace  = flag.String("trace", "", "write an execution trace to this file")
+		blockProf  = flag.String("blockprofile", "", "write a goroutine blocking profile to this file")
+		mutexProf  = flag.String("mutexprofile", "", "write a mutex contention profile to this file")
 	)
 	flag.Parse()
 
@@ -75,6 +78,24 @@ func main() {
 		Rate:     *rate,
 		Seed:     *seed,
 		Stream:   synth.StreamConfig{Workers: *workers},
+	}
+	if *disruptArg != "" {
+		nodes, landmarks, err := spec.Dims()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtnflow-scale:", err)
+			os.Exit(1)
+		}
+		start, end, err := spec.Span()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtnflow-scale:", err)
+			os.Exit(1)
+		}
+		sp, err := disrupt.Parse(*disruptArg, nodes, landmarks, start, end)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtnflow-scale:", err)
+			os.Exit(1)
+		}
+		spec.Disrupt = &sp
 	}
 
 	var res *experiment.ScaleResult

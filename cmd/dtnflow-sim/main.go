@@ -9,12 +9,19 @@
 //	dtnflow-sim -trace dart -method DTN-FLOW -extensions
 //	dtnflow-sim -trace dart -method DTN-FLOW -json
 //	dtnflow-sim -trace dart -method DTN-FLOW -telemetry run.jsonl
+//	dtnflow-sim -trace dnet -method DTN-FLOW -disrupt flash-crowd
+//	dtnflow-sim -trace dart -method DTN-FLOW -disrupt spec.json
 //
 // -telemetry records the packet-lifecycle event stream for offline
 // analysis with dtnflow-inspect (a .csv suffix selects CSV instead of
 // JSONL; CSV recordings carry no meta header and cannot be replayed).
 // -json replaces the human-readable report with one machine-readable
 // JSON object, including the telemetry counters when recording.
+// -disrupt perturbs the scenario with a named preset (outage,
+// link-sever, link-degrade, churn, drift, flash-crowd, storm) or a JSON
+// disruption spec file; with -telemetry, the disruption timeline lands
+// in the recording's meta header so dtnflow-inspect -resilience can
+// report re-convergence and degradation windows.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/disrupt"
 	"repro/internal/metrics"
 	"repro/internal/prof"
 	"repro/internal/sim"
@@ -45,6 +53,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		extensions = flag.Bool("extensions", false, "enable DTN-FLOW's Section IV-E extensions")
 		jsonOut    = flag.Bool("json", false, "emit the result as one machine-readable JSON object")
+		disruptArg = flag.String("disrupt", "", "disruption preset (outage, link-sever, link-degrade, churn, drift, flash-crowd, storm) or a JSON spec file")
 		telPath    = flag.String("telemetry", "", "record telemetry events to this file (.jsonl or .csv)")
 		telCap     = flag.Int("telemetry-cap", 0, "telemetry ring capacity in events (0 = default)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -72,6 +81,23 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+	// Resolve and apply the disruption before the config: the perturbed
+	// trace (outage clipping shrinks visits) is what the engine and the
+	// default measurement window must see.
+	var dsp *disrupt.Spec
+	if *disruptArg != "" {
+		sp, err := disrupt.Parse(*disruptArg, tr.NumNodes, tr.NumLandmarks, 0, tr.Duration())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtnflow-sim:", err)
+			os.Exit(1)
+		}
+		dsp = &sp
+		if tr, err = disrupt.Perturb(tr, dsp); err != nil {
+			fmt.Fprintln(os.Stderr, "dtnflow-sim:", err)
+			os.Exit(1)
+		}
+	}
+
 	cfg := sim.DefaultConfig(tr.Duration())
 	cfg.Seed = *seed
 	cfg.TTL = ttlDef
@@ -111,6 +137,7 @@ func main() {
 	}
 
 	w := sim.NewWorkload(*rate, cfg.PacketSize, cfg.TTL)
+	dsp.Apply(&cfg, w)
 	t0 := time.Now()
 	res := sim.New(tr, router, w, cfg).Run()
 	wall := time.Since(t0)
@@ -118,14 +145,15 @@ func main() {
 
 	if rec != nil {
 		if err := writeRecording(rec, *telPath, telemetry.Meta{
-			Scenario:  *traceArg,
-			Method:    s.Method,
-			Seed:      *seed,
-			Nodes:     tr.NumNodes,
-			Landmarks: tr.NumLandmarks,
-			Unit:      cfg.Unit,
-			TTL:       cfg.TTL,
-			Warmup:    cfg.Warmup,
+			Scenario:    *traceArg,
+			Method:      s.Method,
+			Seed:        *seed,
+			Nodes:       tr.NumNodes,
+			Landmarks:   tr.NumLandmarks,
+			Unit:        cfg.Unit,
+			TTL:         cfg.TTL,
+			Warmup:      cfg.Warmup,
+			Disruptions: dsp.Events(),
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -138,6 +166,7 @@ func main() {
 			TraceInfo:  tr.Summarize().String(),
 			Method:     s.Method,
 			Seed:       *seed,
+			Disrupt:    *disruptArg,
 			Summary:    s,
 			WallMillis: wall.Milliseconds(),
 		}
@@ -157,6 +186,9 @@ func main() {
 
 	fmt.Printf("trace:           %s\n", tr.Summarize())
 	fmt.Printf("method:          %s\n", s.Method)
+	if dsp != nil {
+		fmt.Printf("disruption:      %s (%d timeline events)\n", *disruptArg, len(dsp.Events()))
+	}
 	fmt.Printf("generated:       %d\n", s.Generated)
 	fmt.Printf("success rate:    %.3f (%d delivered)\n", s.SuccessRate, s.Delivered)
 	fmt.Printf("average delay:   %s\n", metrics.FormatDuration(s.AvgDelay))
@@ -176,6 +208,7 @@ type jsonReport struct {
 	TraceInfo     string              `json:"trace_info"`
 	Method        string              `json:"method"`
 	Seed          int64               `json:"seed"`
+	Disrupt       string              `json:"disrupt,omitempty"`
 	Summary       metrics.Summary     `json:"summary"`
 	WallMillis    int64               `json:"wall_ms"`
 	Telemetry     *telemetry.Counters `json:"telemetry,omitempty"`

@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/disrupt"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The disrupted golden corpus extends the steady-state corpus with the
+// "storm" preset — every disruption family at once — applied to each Tiny
+// scenario. The entries pin the same contract: classic, sharded, and
+// parallel-apply execution are bit-identical at every worker count, now
+// with outage clipping, churn flushes, drift remaps, link-fault drops,
+// and flash-crowd surges all in play. A chunk boundary landing on a
+// disruption edge, a mis-ordered churn flush in the commit pipeline, or
+// a surge drawn from a different RNG stream all show up as corpus diffs.
+
+func disruptedGoldenPath(scenario string) string {
+	return filepath.Join("testdata", "golden", scenario+"-disrupted.json")
+}
+
+// disruptedSpec compiles the storm preset for one scenario's dimensions.
+func disruptedSpec(t *testing.T, sc *Scenario) *disrupt.Spec {
+	t.Helper()
+	sp, err := disrupt.Preset("storm", sc.Trace.NumNodes, sc.Trace.NumLandmarks, 0, sc.Trace.Duration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sp
+}
+
+// disruptedClassicRun executes one method on the storm-perturbed scenario
+// through the classic engine.
+func disruptedClassicRun(t *testing.T, sc *Scenario, method string) metrics.Summary {
+	t.Helper()
+	sp := disruptedSpec(t, sc)
+	tr, err := disrupt.Perturb(sc.Trace, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.Config(1)
+	w := sc.Workload(sc.RateDef)
+	sp.Apply(&cfg, w)
+	return sim.New(tr, NewRouter(method), w, cfg).Run().Summary
+}
+
+// disruptedShardedRun replays the same run through the sharded engine, the
+// disruption applied as a streaming source wrapper.
+func disruptedShardedRun(t *testing.T, sc *Scenario, method string, sh sim.ShardConfig) metrics.Summary {
+	t.Helper()
+	sp := disruptedSpec(t, sc)
+	cfg := sc.Config(1)
+	w := sc.Workload(sc.RateDef)
+	sp.Apply(&cfg, w)
+	open := disrupt.Wrap(func() trace.Source { return trace.NewSliceSource(sc.Trace, 512) }, sp)
+	s, err := sim.NewSharded(open, NewRouter(method), w, cfg, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Run().Summary
+}
+
+// TestDisruptedGoldenRuns pins every method × Tiny scenario under the
+// storm disruption, then replays each entry through the sharded engine at
+// workers 1, 2, 8, and GOMAXPROCS and through the parallel-apply pipeline
+// — all must reproduce the classic fingerprint exactly.
+func TestDisruptedGoldenRuns(t *testing.T) {
+	shardCfgs := []struct {
+		name string
+		sh   sim.ShardConfig
+	}{
+		{"sharded-w1", sim.ShardConfig{Workers: 1}},
+		{"sharded-w2", sim.ShardConfig{Workers: 2}},
+		{"sharded-w8", sim.ShardConfig{Workers: 8}},
+		{"sharded-wmax", sim.ShardConfig{}},
+		{"parallel-apply-w1", sim.ShardConfig{Workers: 1, ParallelApply: true}},
+		{"parallel-apply-w8", sim.ShardConfig{Workers: 8, ParallelApply: true}},
+	}
+	for _, sc := range BothScenarios(Tiny) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			got := make(map[string]metrics.Summary, len(MethodNames))
+			for _, m := range MethodNames {
+				got[m] = disruptedClassicRun(t, sc, m)
+			}
+			path := disruptedGoldenPath(sc.Name)
+			if *updateGolden {
+				blob, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+			} else {
+				blob, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (regenerate with scripts/golden.sh)", err)
+				}
+				want := map[string]metrics.Summary{}
+				if err := json.Unmarshal(blob, &want); err != nil {
+					t.Fatal(err)
+				}
+				if len(want) != len(MethodNames) {
+					t.Fatalf("corpus has %d methods, want %d", len(want), len(MethodNames))
+				}
+				for _, m := range MethodNames {
+					if got[m] != want[m] {
+						t.Errorf("%s: disrupted classic run drifted from corpus:\ngot  %+v\nwant %+v", m, got[m], want[m])
+					}
+				}
+			}
+			// Engine equivalence holds against the freshly computed entries
+			// whether or not the corpus is being rewritten.
+			for _, m := range MethodNames {
+				for _, sh := range shardCfgs {
+					if sum := disruptedShardedRun(t, sc, m, sh.sh); sum != got[m] {
+						t.Errorf("%s/%s: disrupted run drifted from classic:\ngot  %+v\nwant %+v",
+							m, sh.name, sum, got[m])
+					}
+				}
+			}
+		})
+	}
+}

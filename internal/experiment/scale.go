@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/disrupt"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/synth"
@@ -39,6 +40,12 @@ type ScaleSpec struct {
 	Seed int64
 	// Stream tunes the generation side (fill workers, merge window).
 	Stream synth.StreamConfig
+	// Disrupt perturbs the scenario (nil = steady state): the spec's
+	// trace effects wrap the streaming source, its churn flushes enter
+	// the engine config, and its flash crowds enter the workload — so
+	// both engines, and the -engine both equivalence gate, see the same
+	// disrupted world.
+	Disrupt *disrupt.Spec `json:"disrupt,omitempty"`
 }
 
 func (sp ScaleSpec) mult() int {
@@ -121,21 +128,34 @@ func (sp ScaleSpec) Dims() (nodes, landmarks int, err error) {
 }
 
 // Open returns a factory of fresh streaming sources over the scaled
-// scenario — the form sim.NewSharded consumes.
+// scenario — the form sim.NewSharded consumes. A disruption spec wraps
+// every source, so consumers always see the perturbed stream.
 func (sp ScaleSpec) Open() (func() trace.Source, error) {
+	var open func() trace.Source
 	switch sp.Scenario {
 	case "DART":
 		cfg := sp.dartConfig()
 		sc := sp.Stream
-		return func() trace.Source { return synth.DARTSource(cfg, sc) }, nil
+		open = func() trace.Source { return synth.DARTSource(cfg, sc) }
 	case "DNET":
 		cfg := sp.dnetConfig()
 		sc := sp.Stream
-		return func() trace.Source { return synth.DNETSource(cfg, sc) }, nil
+		open = func() trace.Source { return synth.DNETSource(cfg, sc) }
 	default:
 		_, err := sp.params()
 		return nil, err
 	}
+	return disrupt.Wrap(open, sp.Disrupt), nil
+}
+
+// Span returns the scenario's generation horizon [0, days × Day) — the
+// window disruption presets are placed in.
+func (sp ScaleSpec) Span() (start, end trace.Time, err error) {
+	p, err := sp.params()
+	if err != nil {
+		return 0, 0, err
+	}
+	return 0, trace.Time(p.days) * trace.Day, nil
 }
 
 // Config returns the simulator configuration shared by both engines. The
@@ -156,16 +176,20 @@ func (sp ScaleSpec) Config() (sim.Config, error) {
 	if cfg.NodeMemory < 1024 {
 		cfg.NodeMemory = 1024
 	}
+	sp.Disrupt.Apply(&cfg, nil)
 	return cfg, nil
 }
 
-// Workload returns the scaled scenario's workload.
+// Workload returns the scaled scenario's workload, including any flash
+// crowds from the disruption spec.
 func (sp ScaleSpec) Workload() (*sim.Workload, error) {
 	p, err := sp.params()
 	if err != nil {
 		return nil, err
 	}
-	return sim.NewWorkload(sp.rate(), 1024, p.ttl), nil
+	w := sim.NewWorkload(sp.rate(), 1024, p.ttl)
+	sp.Disrupt.Apply(nil, w)
+	return w, nil
 }
 
 // ScaleResult is one scale run's outcome: the routing summary plus the

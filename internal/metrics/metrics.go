@@ -19,12 +19,13 @@ const (
 	DropTTL    DropReason = iota // time-to-live expired
 	DropNoRoom                   // no room at a capacity-limited station (sim.Config.StationMemory)
 	DropEnd                      // still in flight when the run ended
+	DropChurn                    // carrier churned out of the network mid-run (internal/disrupt)
 )
 
 // DropReasonNames maps each DropReason to its wire name; its length is
 // the number of reasons (Collector.Dropped and the telemetry drop
 // counters are sized from it).
-var DropReasonNames = [3]string{"ttl", "noroom", "end"}
+var DropReasonNames = [4]string{"ttl", "noroom", "end", "churn"}
 
 // String returns the reason's wire name.
 func (r DropReason) String() string {

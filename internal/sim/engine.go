@@ -35,6 +35,23 @@ type Config struct {
 	// default) disables checking at zero cost beyond one branch per hook
 	// point.
 	Check Checker
+	// Disrupt schedules engine-side disruption effects, sorted by T
+	// (internal/disrupt compiles it from a disruption spec). Each action
+	// fires immediately before the first processed event at or after its
+	// timestamp — the same point on every execution path, so disrupted
+	// runs stay bit-identical across the classic, sharded, and
+	// parallel-apply engines.
+	Disrupt []DisruptAction
+}
+
+// DisruptAction is one scheduled disruption effect: at time T, node Node
+// churns out of the network and its buffer is flushed — every packet it
+// carries is dropped with metrics.DropChurn. Node IDs outside the trace
+// are ignored. Actions with T past the last event never fire; the
+// packets drain as DropEnd instead, identically on every path.
+type DisruptAction struct {
+	T    trace.Time
+	Node int
 }
 
 // DefaultConfig returns the paper's default experiment settings for a
@@ -317,6 +334,10 @@ type Engine struct {
 	present       [][]*Node
 	nextUnit      int
 	expireScratch []*Packet
+	// disrupt is the scheduled disruption-action list (Config.Disrupt) and
+	// nextDisrupt the cursor of the first not-yet-fired action.
+	disrupt     []DisruptAction
+	nextDisrupt int
 	// pathArena is the shared backing array packet Path slices are carved
 	// from in fixed-capacity pieces at generation time, replacing one small
 	// allocation (plus its append-growth steps) per packet with one arena
@@ -362,6 +383,7 @@ func newEngineCore(tr *trace.Trace, r Router, w *Workload, cfg Config, start, en
 	e.ctx = ctx
 	e.present = make([][]*Node, tr.NumLandmarks)
 	e.measureFrom = start + cfg.Warmup
+	e.disrupt = cfg.Disrupt
 	return e
 }
 
@@ -501,11 +523,41 @@ func (e *Engine) prepareArrive(v trace.Visit) *Contact {
 	return c
 }
 
+// advanceDisrupt fires every scheduled disruption action with T <= t:
+// the churned node's buffer is flushed so a carrier that left the
+// network carries no packets. It reports whether anything fired, letting
+// the plan/commit pipeline invalidate in-flight plans whose read sets
+// the flush may have touched.
+func (e *Engine) advanceDisrupt(t trace.Time) bool {
+	fired := false
+	for e.nextDisrupt < len(e.disrupt) && e.disrupt[e.nextDisrupt].T <= t {
+		a := e.disrupt[e.nextDisrupt]
+		e.nextDisrupt++
+		if a.Node < 0 || a.Node >= len(e.ctx.Nodes) {
+			continue
+		}
+		n := e.ctx.Nodes[a.Node]
+		if n.Buffer.Len() > 0 {
+			flush := append(e.expireScratch[:0], n.Buffer.Packets()...)
+			for _, p := range flush {
+				n.Buffer.Remove(p)
+				e.ctx.dropPacket(p, metrics.DropChurn)
+			}
+			e.expireScratch = flush[:0]
+		}
+		fired = true
+	}
+	return fired
+}
+
 // apply executes one event. The caller has already advanced e.now to the
 // event's timestamp; the sharded engine calls apply directly from its
 // epoch-merge loop, so every state transition — presence sets, router
 // callbacks, packet accounting — lives here and nowhere else.
 func (e *Engine) apply(ev event) {
+	if e.nextDisrupt < len(e.disrupt) {
+		e.advanceDisrupt(ev.t)
+	}
 	switch ev.kind {
 	case evArrive:
 		c := e.prepareArrive(ev.visit)

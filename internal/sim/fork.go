@@ -49,6 +49,7 @@ type Snapshot struct {
 	start, end  trace.Time
 	measureFrom trace.Time
 	nextUnit    int
+	nextDisrupt int
 	metrics     *metrics.Collector
 }
 
@@ -105,6 +106,7 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		end:         e.end,
 		measureFrom: e.measureFrom,
 		nextUnit:    e.nextUnit,
+		nextDisrupt: e.nextDisrupt,
 		metrics:     e.ctx.Metrics.Clone(),
 	}
 	for lm, set := range e.present {
@@ -139,6 +141,8 @@ func Fork(s *Snapshot, w *Workload, seed int64) *Engine {
 		end:         s.end,
 		measureFrom: s.measureFrom,
 		nextUnit:    s.nextUnit,
+		disrupt:     cfg.Disrupt,
+		nextDisrupt: s.nextDisrupt,
 		started:     true,
 	}
 	ctx := &Context{

@@ -221,6 +221,13 @@ func (s *Sharded) commitWindow() {
 		}
 		ev := it.ev
 		e.now = ev.t
+		// Disruption actions fire at the same point as on the serial paths
+		// (immediately before the first event at or after their time); a
+		// flush mutates node buffers the remaining plans may have read, so
+		// it invalidates the rest of the window.
+		if e.nextDisrupt < len(e.disrupt) && e.advanceDisrupt(ev.t) {
+			ginv = true
+		}
 		if it.plan != nil {
 			v := ev.visit
 			if !ginv && s.lmStamp[v.Landmark] != tick && s.nodeStamp[v.Node] != tick {

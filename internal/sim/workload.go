@@ -30,6 +30,21 @@ type Workload struct {
 	// DstNodes, when non-nil, addresses each packet to a random node from
 	// the slice instead of a landmark (Section IV-E.4 node-routing mode).
 	DstNodes []int
+	// Surges adds flash-crowd traffic spikes on top of the base rate
+	// (internal/disrupt compiles them from a disruption spec). They are
+	// scheduled inside Schedule from the same RNG stream as the base
+	// workload, so the classic and sharded constructors — both of which
+	// call Schedule with identical arguments — see identical packets.
+	Surges []Surge
+}
+
+// Surge is one flash-crowd spike: Rate extra packets per day, generated
+// during [Start, End) with sources drawn uniformly from Landmarks instead
+// of the whole landmark set. Landmark IDs outside the trace are ignored.
+type Surge struct {
+	Start, End trace.Time
+	Landmarks  []int
+	Rate       float64
 }
 
 // NewWorkload returns a network-wide workload with uniform random sources
@@ -136,6 +151,38 @@ func (w *Workload) Schedule(rng *rand.Rand, from, to trace.Time, numLandmarks in
 				src = rng.Intn(numLandmarks)
 			}
 			newPacket(t, src)
+		}
+	}
+	for _, sg := range w.Surges {
+		lo, hi := sg.Start, sg.End
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		var srcs []int
+		for _, lm := range sg.Landmarks {
+			if lm >= 0 && lm < numLandmarks {
+				srcs = append(srcs, lm)
+			}
+		}
+		if sg.Rate <= 0 || hi <= lo || len(srcs) == 0 {
+			continue
+		}
+		n := int(sg.Rate * float64(hi-lo) / float64(trace.Day))
+		if n <= 0 {
+			continue
+		}
+		step := (hi - lo) / trace.Time(n)
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < n; i++ {
+			t := lo + trace.Time(i)*step + trace.Time(rng.Int63n(int64(step)))
+			if t < hi {
+				newPacket(t, srcs[rng.Intn(len(srcs))])
+			}
 		}
 	}
 	sort.Slice(pkts, func(i, j int) bool {

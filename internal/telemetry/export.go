@@ -24,6 +24,22 @@ type Meta struct {
 	Unit      trace.Time `json:"unit"`
 	TTL       trace.Time `json:"ttl"`
 	Warmup    trace.Time `json:"warmup"`
+	// Disruptions is the run's disruption timeline (empty for a
+	// steady-state run); internal/disrupt compiles it from the scenario's
+	// spec. Replay analyses segment the recording around these events —
+	// see Log.Resilience.
+	Disruptions []Disruption `json:"disruptions,omitempty"`
+}
+
+// Disruption is one scenario-perturbation event: an outage edge, a link
+// fault edge, a churn departure or return, a drift onset, or a flash
+// crowd edge. A and B carry kind-specific identifiers (landmark, node,
+// or link endpoints).
+type Disruption struct {
+	T    trace.Time `json:"t"`
+	Kind string     `json:"kind"`
+	A    int        `json:"a,omitempty"`
+	B    int        `json:"b,omitempty"`
 }
 
 // jsonlHeader wraps Meta so the first line is distinguishable from an

@@ -1,0 +1,97 @@
+package telemetry
+
+import "repro/internal/trace"
+
+// Resilience analysis: how a run absorbed its disruptions. For every
+// disruption event carried in the recording's meta header, the report
+// measures (a) routing-table re-convergence — how long after the event
+// landmark tables kept materially changing (EvRecompute) — and (b) the
+// success/delay degradation window: delivery, drop, and delay figures in
+// a window after the event compared against the same-length window
+// before it. The analysis is descriptive, not judgmental: a flash crowd
+// degrades delay while an outage degrades deliveries, and the report
+// simply shows which.
+
+// WindowStats aggregates packet outcomes inside one time window.
+type WindowStats struct {
+	Generated int     `json:"generated"`
+	Delivered int     `json:"delivered"`
+	Dropped   int     `json:"dropped"`
+	Forwarded int     `json:"forwarded"`
+	MeanDelay float64 `json:"mean_delay"` // seconds, over deliveries in the window; 0 if none
+}
+
+// DisruptionImpact is the resilience view of one disruption event.
+type DisruptionImpact struct {
+	Disruption
+	// Recomputes counts table-recompute events in [T, T+Window); Settle
+	// is the offset of the last one (-1 when no recompute followed, i.e.
+	// the tables never reacted inside the window).
+	Recomputes int        `json:"recomputes"`
+	Settle     trace.Time `json:"settle"`
+	// TableDrift sums the recomputes' drift scores — the total amount of
+	// routing-table movement the event caused inside the window.
+	TableDrift float64 `json:"table_drift"`
+	// Before and During compare the [T-Window, T) and [T, T+Window)
+	// packet outcomes.
+	Before WindowStats `json:"before"`
+	During WindowStats `json:"during"`
+}
+
+// Resilience computes the per-disruption impact report over the given
+// window length (<= 0 selects the run's measurement unit, or one day
+// when the meta carries none). It returns nil when the recording has no
+// disruption timeline.
+func (l *Log) Resilience(window trace.Time) []DisruptionImpact {
+	if len(l.Meta.Disruptions) == 0 {
+		return nil
+	}
+	if window <= 0 {
+		window = l.Meta.Unit
+	}
+	if window <= 0 {
+		window = trace.Day
+	}
+	out := make([]DisruptionImpact, 0, len(l.Meta.Disruptions))
+	for _, d := range l.Meta.Disruptions {
+		im := DisruptionImpact{Disruption: d, Settle: -1}
+		for _, ev := range l.Events {
+			switch {
+			case ev.Kind == EvRecompute && ev.T >= d.T && ev.T < d.T+window:
+				im.Recomputes++
+				im.TableDrift += ev.V
+				if off := ev.T - d.T; off > im.Settle {
+					im.Settle = off
+				}
+			case ev.T >= d.T-window && ev.T < d.T:
+				accumulate(&im.Before, ev)
+			case ev.T >= d.T && ev.T < d.T+window:
+				accumulate(&im.During, ev)
+			}
+		}
+		finalize(&im.Before)
+		finalize(&im.During)
+		out = append(out, im)
+	}
+	return out
+}
+
+func accumulate(w *WindowStats, ev Event) {
+	switch ev.Kind {
+	case EvGenerated:
+		w.Generated++
+	case EvDelivered:
+		w.Delivered++
+		w.MeanDelay += ev.V // sum here; finalize divides
+	case EvDropped:
+		w.Dropped++
+	case EvForwarded:
+		w.Forwarded++
+	}
+}
+
+func finalize(w *WindowStats) {
+	if w.Delivered > 0 {
+		w.MeanDelay /= float64(w.Delivered)
+	}
+}

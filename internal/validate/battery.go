@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/disrupt"
 	"repro/internal/experiment"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // BatteryOptions configure the full validation battery.
@@ -148,6 +150,27 @@ func RunBattery(opt BatteryOptions) *Report {
 			// end-of-warmup snapshot must equal fresh end-to-end runs.
 			rep.Items = append(rep.Items, forkEquivalence(sc, m, rate, opt.Seeds))
 		}
+
+		// Disrupted scenarios: every method stays invariant-clean and
+		// engine-equivalent under three disruption presets — a pure
+		// outage, pure churn, and the all-families storm.
+		for _, preset := range []string{"outage", "churn", "storm"} {
+			sp, err := disrupt.Preset(preset, sc.Trace.NumNodes, sc.Trace.NumLandmarks, 0, sc.Trace.Duration())
+			if err != nil {
+				rep.add(sc.Name+": disrupted["+preset+"]", false, err.Error())
+				continue
+			}
+			tr, err := disrupt.Perturb(sc.Trace, &sp)
+			if err != nil {
+				rep.add(sc.Name+": disrupted["+preset+"]", false, "perturbed trace invalid: "+err.Error())
+				continue
+			}
+			for _, m := range opt.Methods {
+				name := fmt.Sprintf("%s/%s: disrupted[%s]", sc.Name, m, preset)
+				opt.Log("  %s", name)
+				rep.Items = append(rep.Items, disruptedRun(name, sc, tr, &sp, m, rate))
+			}
+		}
 	}
 	if opt.FuzzSpecs > 0 {
 		fails := Fuzz(FuzzOptions{Specs: opt.FuzzSpecs, Log: opt.Log})
@@ -162,6 +185,42 @@ func RunBattery(opt BatteryOptions) *Report {
 
 func routerFor(m string) func() sim.Router {
 	return func() sim.Router { return experiment.NewRouter(m) }
+}
+
+// disruptedRun executes one method on a perturbed scenario twice — the
+// classic engine on the materialized perturbed trace, under the
+// disruption-armed invariant checker with telemetry cross-checks, and
+// the sharded engine over a disrupt-wrapped stream — and requires a
+// clean checker plus bit-identical summaries. One item therefore covers
+// three contracts at once: the disruption invariants hold, the checker
+// stays neutral, and engine equivalence survives the perturbation.
+func disruptedRun(name string, sc *experiment.Scenario, tr *trace.Trace, sp *disrupt.Spec, method string, rate float64) Item {
+	ck := NewChecker()
+	ck.SetDisruption(sp)
+	cfg := sc.Config(1)
+	cfg.Check = ck
+	cfg.Probe = telemetry.NewProbe(telemetry.NewRecorder(1 << 12))
+	w := sc.Workload(rate)
+	sp.Apply(&cfg, w)
+	classic := sim.New(tr, experiment.NewRouter(method), w, cfg).Run().Summary
+	if err := ck.Err(); err != nil {
+		return Item{Name: name, Detail: err.Error()}
+	}
+
+	shCfg := sc.Config(1)
+	shW := sc.Workload(rate)
+	sp.Apply(&shCfg, shW)
+	open := disrupt.Wrap(func() trace.Source { return trace.NewSliceSource(sc.Trace, 512) }, sp)
+	sh, err := sim.NewSharded(open, experiment.NewRouter(method), shW, shCfg, sim.ShardConfig{Workers: 4})
+	if err != nil {
+		return Item{Name: name, Detail: "sharded setup failed: " + err.Error()}
+	}
+	sharded := sh.Run().Summary
+	if experiment.SummaryFingerprint(classic) != experiment.SummaryFingerprint(sharded) {
+		return Item{Name: name, Detail: fmt.Sprintf("classic %+v, sharded %+v", classic, sharded)}
+	}
+	return Item{Name: name, Pass: true,
+		Detail: fmt.Sprintf("%d packets, 0 violations, classic == sharded", classic.Generated)}
 }
 
 // forkEquivalence warms one engine, snapshots it, and checks that forked

@@ -3,6 +3,7 @@ package validate
 import (
 	"math"
 
+	"repro/internal/disrupt"
 	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -62,6 +63,8 @@ type Checker struct {
 
 	epoch    uint32
 	finished bool
+
+	disrupted *disrupt.Spec
 }
 
 var _ sim.Checker = (*Checker)(nil)
@@ -70,6 +73,40 @@ var _ sim.Checker = (*Checker)(nil)
 // sim.Config.Check.
 func NewChecker() *Checker {
 	return &Checker{packets: make(map[int]*pktState)}
+}
+
+// SetDisruption arms the disruption-aware invariants against the given
+// spec: no transfer may touch a down landmark's station or a churned-out
+// node, and a churned-out carrier's buffer must be empty at every scan
+// point. An empty spec (or nil checker) leaves the rules disarmed.
+//
+// Boundary semantics follow the engine's event order at equal
+// timestamps (unit < depart < generate < arrive < timer): a churned
+// node's clipped-visit depart and its buffer flush both precede any
+// same-instant arrive or timer, so the half-open [Down, Up) and
+// [Start, End) windows used here can never produce false positives.
+func (c *Checker) SetDisruption(sp *disrupt.Spec) {
+	if c == nil || sp.Empty() {
+		return
+	}
+	c.disrupted = sp
+}
+
+// churnedBy reports whether node has a churn departure at or before t —
+// the lenient form used to validate DropChurn reasons, which tolerates
+// the flush landing after a short churn window has already closed (the
+// engine fires actions at the first event at or past Down, which sparse
+// event streams can delay past Up).
+func (c *Checker) churnedBy(node int, t trace.Time) bool {
+	if c.disrupted == nil {
+		return false
+	}
+	for _, ch := range c.disrupted.Churn {
+		if ch.Node == node && ch.Down <= t {
+			return true
+		}
+	}
+	return false
 }
 
 // Violations returns the recorded breaches (bounded; see ViolationCount
@@ -176,6 +213,20 @@ func (c *Checker) Transferred(now trace.Time, hop telemetry.HopKind, p *sim.Pack
 		c.vs.add(now, "teleport", "%v transferred from %s %d but held by %s %d",
 			p, holderName(fromKind), from, holderName(s.holderKind), s.holder)
 	}
+	if c.disrupted != nil {
+		if fromKind == holderStation && c.disrupted.LandmarkDown(from, now) {
+			c.vs.add(now, "outage-transfer", "%v downloaded from landmark %d during its outage", p, from)
+		}
+		if toKind == holderStation && c.disrupted.LandmarkDown(to, now) {
+			c.vs.add(now, "outage-transfer", "%v uploaded to landmark %d during its outage", p, to)
+		}
+		if fromKind == holderNode && c.disrupted.NodeAbsent(from, now) {
+			c.vs.add(now, "churned-transfer", "%v transferred from churned-out node %d", p, from)
+		}
+		if toKind == holderNode && c.disrupted.NodeAbsent(to, now) {
+			c.vs.add(now, "churned-transfer", "%v transferred to churned-out node %d", p, to)
+		}
+	}
 	s.holderKind, s.holder = toKind, int32(to)
 }
 
@@ -228,6 +279,11 @@ func (c *Checker) Dropped(now trace.Time, p *sim.Packet, reason metrics.DropReas
 	}
 	if reason == metrics.DropTTL && now < s.expiry {
 		c.vs.add(now, "ttl-drop-early", "%v dropped for TTL at t=%d before expiry %d", p, now, s.expiry)
+	}
+	if reason == metrics.DropChurn && c.disrupted != nil &&
+		!(s.holderKind == holderNode && c.churnedBy(int(s.holder), now)) {
+		c.vs.add(now, "spurious-churn-drop", "%v dropped for churn but held by %s %d with no churn departure",
+			p, holderName(s.holderKind), s.holder)
 	}
 	s.status = stDropped
 	s.reason = reason
@@ -322,6 +378,13 @@ func (c *Checker) Scan(now trace.Time, ctx *sim.Context) {
 		c.scanBuffer(now, n.Buffer, ctx.Cfg.NodeMemory, holderNode, n.ID)
 		if n.At < -1 || n.At >= ctx.NumLandmarks() {
 			c.vs.add(now, "position-out-of-range", "node %d at landmark %d", n.ID, n.At)
+		}
+		// A carrier that churned out of the network took nothing with it:
+		// its departure flushed the buffer, and no transfer may refill it
+		// while it is absent.
+		if c.disrupted != nil && n.Buffer.Len() > 0 && c.disrupted.NodeAbsent(n.ID, now) {
+			c.vs.add(now, "churned-node-carries", "churned-out node %d holds %d packets at t=%d",
+				n.ID, n.Buffer.Len(), now)
 		}
 	}
 	for _, st := range ctx.Stations {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"reflect"
 
+	"repro/internal/disrupt"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -32,6 +33,17 @@ type ScenarioSpec struct {
 	LinkRate     float64
 	FollowPct    int // routine-following probability, percent
 	MissPct      int // visit-record loss probability, percent
+
+	// Disruption knobs, compiled into a disrupt.Spec by Disruption(). All
+	// zero means a steady-state scenario; any non-zero knob perturbs the
+	// run and arms the checker's disruption-aware invariants.
+	OutageLMs    int // landmarks taken offline (0-3)
+	OutageHours  int // length of each outage window
+	ChurnNodes   int // nodes churned out mid-run (0-8)
+	ChurnHours   int // absence length; 0 = the node never returns
+	DriftShift   int // community-drift landmark rotation (0 = no drift)
+	LinkSeverPct int // transit-link 0->1 drop probability, percent
+	CrowdRate    int // flash-crowd extra packets/day (0 = no crowd)
 }
 
 func clampInt(v, lo, hi int) int {
@@ -72,13 +84,25 @@ func (s ScenarioSpec) Normalize() ScenarioSpec {
 	s.LinkRate = clampFloat(s.LinkRate, 0.05, 4)
 	s.FollowPct = clampInt(s.FollowPct, 50, 95)
 	s.MissPct = clampInt(s.MissPct, 0, 30)
+	s.OutageLMs = clampInt(s.OutageLMs, 0, 3)
+	s.OutageHours = clampInt(s.OutageHours, 1, 48)
+	s.ChurnNodes = clampInt(s.ChurnNodes, 0, 8)
+	s.ChurnHours = clampInt(s.ChurnHours, 0, 48)
+	s.DriftShift = clampInt(s.DriftShift, 0, 4)
+	s.LinkSeverPct = clampInt(s.LinkSeverPct, 0, 100)
+	s.CrowdRate = clampInt(s.CrowdRate, 0, 300)
 	return s
 }
 
 func (s ScenarioSpec) String() string {
-	return fmt.Sprintf("spec{seed=%d nodes=%d lms=%d days=%d cycle=%d ttl=%dh mem=%dkB stmem=%dkB rate=%d/d link=%.2f follow=%d%% miss=%d%%}",
+	d := ""
+	if s.Disruption() != nil {
+		d = fmt.Sprintf(" outage=%dx%dh churn=%dx%dh drift=%d sever=%d%% crowd=%d/d",
+			s.OutageLMs, s.OutageHours, s.ChurnNodes, s.ChurnHours, s.DriftShift, s.LinkSeverPct, s.CrowdRate)
+	}
+	return fmt.Sprintf("spec{seed=%d nodes=%d lms=%d days=%d cycle=%d ttl=%dh mem=%dkB stmem=%dkB rate=%d/d link=%.2f follow=%d%% miss=%d%%%s}",
 		s.Seed, s.Nodes, s.Landmarks, s.Days, s.CycleLen, s.TTLHours, s.NodeMemKB,
-		s.StationMemKB, s.RatePerDay, s.LinkRate, s.FollowPct, s.MissPct)
+		s.StationMemKB, s.RatePerDay, s.LinkRate, s.FollowPct, s.MissPct, d)
 }
 
 // Trace generates the spec's mobility trace (deterministic in the spec).
@@ -94,6 +118,75 @@ func (s ScenarioSpec) Trace() *trace.Trace {
 	})
 }
 
+// Disruption compiles the spec's disruption knobs into a disrupt.Spec,
+// deterministically placed over the scenario's [0, Days) span in
+// span-eighths (the same placement scheme disrupt.Preset uses). It
+// returns nil when every knob is zero — a steady-state scenario.
+func (s ScenarioSpec) Disruption() *disrupt.Spec {
+	if s.OutageLMs == 0 && s.ChurnNodes == 0 && s.DriftShift == 0 &&
+		s.LinkSeverPct == 0 && s.CrowdRate == 0 {
+		return nil
+	}
+	q := trace.Time(s.Days) * trace.Day / 8
+	sp := &disrupt.Spec{Seed: s.Seed + 2}
+	for i := 0; i < s.OutageLMs; i++ {
+		start := 2*q + trace.Time(i)*q
+		sp.Outages = append(sp.Outages, disrupt.Outage{
+			Landmark: i % s.Landmarks,
+			Start:    start,
+			End:      start + trace.Time(s.OutageHours)*trace.Hour,
+		})
+	}
+	if s.LinkSeverPct > 0 && s.Landmarks >= 2 {
+		sp.Links = []disrupt.LinkFault{{
+			From: 0, To: 1, Start: 2 * q, End: 6 * q,
+			DropProb: float64(s.LinkSeverPct) / 100,
+		}}
+	}
+	for i := 0; i < s.ChurnNodes; i++ {
+		down := 3*q + trace.Time(i)*q/4
+		up := down // ChurnHours == 0: the node never returns
+		if s.ChurnHours > 0 {
+			up = down + trace.Time(s.ChurnHours)*trace.Hour
+		}
+		sp.Churn = append(sp.Churn, disrupt.Churn{Node: (i * 3) % s.Nodes, Down: down, Up: up})
+	}
+	if s.DriftShift > 0 {
+		sp.Drifts = []disrupt.Drift{{At: 4 * q, Mod: 2, Rem: 0, Shift: s.DriftShift}}
+	}
+	if s.CrowdRate > 0 {
+		lms := []int{0}
+		if s.Landmarks > 2 {
+			lms = append(lms, s.Landmarks/2)
+		}
+		sp.Crowds = []disrupt.FlashCrowd{{Start: 5 * q, End: 6 * q, Landmarks: lms, Rate: float64(s.CrowdRate)}}
+	}
+	if sp.Empty() { // e.g. only LinkSeverPct set but Landmarks < 2
+		return nil
+	}
+	return sp
+}
+
+// perturbedTrace generates the spec's trace with its disruption applied.
+// A perturbation that breaks the stream order is a disrupt bug, not a
+// scenario property, so it panics rather than failing a property.
+func (s ScenarioSpec) perturbedTrace() *trace.Trace {
+	tr, err := disrupt.Perturb(s.Trace(), s.Disruption())
+	if err != nil {
+		panic(fmt.Sprintf("validate: disrupted trace violates stream order: %v", err))
+	}
+	return tr
+}
+
+// noDisrupt returns the spec with every disruption knob cleared. The
+// metamorphic properties compare steady-state variants: node relabeling
+// breaks node-keyed perturbations, and TTL/buffer monotonicity are not
+// laws once churn flushes and flash crowds enter the picture.
+func (s ScenarioSpec) noDisrupt() ScenarioSpec {
+	s.OutageLMs, s.ChurnNodes, s.DriftShift, s.LinkSeverPct, s.CrowdRate = 0, 0, 0, 0, 0
+	return s
+}
+
 // Config returns the sim configuration for the given trace duration.
 func (s ScenarioSpec) Config(duration trace.Time) sim.Config {
 	cfg := sim.DefaultConfig(duration)
@@ -107,19 +200,23 @@ func (s ScenarioSpec) Config(duration trace.Time) sim.Config {
 }
 
 // runOn simulates one method on the given trace with optional checker and
-// probe attached.
+// probe attached. The spec's disruption engine actions and workload
+// surges are applied; the trace must already be the perturbed one (see
+// perturbedTrace) for the three axes to describe the same scenario.
 func (s ScenarioSpec) runOn(tr *trace.Trace, method string, ck sim.Checker, probe *telemetry.Probe) metrics.Summary {
 	cfg := s.Config(tr.Duration())
 	cfg.Check = ck
 	cfg.Probe = probe
 	w := sim.NewWorkload(float64(s.RatePerDay), cfg.PacketSize, cfg.TTL)
+	s.Disruption().Apply(&cfg, w)
 	eng := sim.New(tr, experiment.NewRouter(method), w, cfg)
 	return eng.Run().Summary
 }
 
-// Run simulates one method on the spec's own trace.
+// Run simulates one method on the spec's own (disruption-perturbed)
+// trace.
 func (s ScenarioSpec) Run(method string, ck sim.Checker, probe *telemetry.Probe) metrics.Summary {
-	return s.runOn(s.Trace(), method, ck, probe)
+	return s.runOn(s.perturbedTrace(), method, ck, probe)
 }
 
 // method picks the spec's designated single-run method, rotating through
@@ -133,7 +230,16 @@ func (s ScenarioSpec) method() string {
 }
 
 // RandomSpec draws a spec from the generator's full parameter space.
+// Each disruption family switches on with probability 1/3, so the
+// campaign mixes steady-state scenarios (~13%) with every perturbation
+// combination.
 func RandomSpec(rng *rand.Rand) ScenarioSpec {
+	maybe := func(n int) int {
+		if rng.Intn(3) == 0 {
+			return n
+		}
+		return 0
+	}
 	return ScenarioSpec{
 		Seed:         rng.Int63n(1 << 32),
 		Nodes:        4 + rng.Intn(37),
@@ -147,6 +253,13 @@ func RandomSpec(rng *rand.Rand) ScenarioSpec {
 		LinkRate:     0.05 + rng.Float64()*3.95,
 		FollowPct:    50 + rng.Intn(46),
 		MissPct:      rng.Intn(31),
+		OutageLMs:    maybe(1 + rng.Intn(3)),
+		OutageHours:  1 + rng.Intn(48),
+		ChurnNodes:   maybe(1 + rng.Intn(8)),
+		ChurnHours:   rng.Intn(49),
+		DriftShift:   maybe(1 + rng.Intn(4)),
+		LinkSeverPct: maybe(1 + rng.Intn(100)),
+		CrowdRate:    maybe(1 + rng.Intn(300)),
 	}.Normalize()
 }
 
@@ -220,10 +333,14 @@ var properties = []property{
 
 // propInvariants runs every method under the invariant checker with a
 // telemetry recorder attached (so the end-of-run cross-checks fire too).
+// The run uses the spec's perturbed trace and the checker is armed with
+// the disruption spec, so disrupted scenarios additionally verify the
+// outage, churn, and conservation invariants.
 func propInvariants(s ScenarioSpec, opt FuzzOptions) string {
-	tr := s.Trace()
+	tr := s.perturbedTrace()
 	for _, m := range experiment.MethodNames {
 		ck := NewChecker()
+		ck.SetDisruption(s.Disruption())
 		rec := telemetry.NewRecorder(1 << 12)
 		s.runOn(tr, m, ck, telemetry.NewProbe(rec))
 		if err := ck.Err(); err != nil {
@@ -238,7 +355,9 @@ func propInvariants(s ScenarioSpec, opt FuzzOptions) string {
 func propCheckerNeutral(s ScenarioSpec, opt FuzzOptions) string {
 	m := s.method()
 	plain := s.Run(m, nil, nil)
-	watched := s.Run(m, NewChecker(), telemetry.NewProbe(telemetry.NewRecorder(1<<10)))
+	ck := NewChecker()
+	ck.SetDisruption(s.Disruption())
+	watched := s.Run(m, ck, telemetry.NewProbe(telemetry.NewRecorder(1<<10)))
 	if !reflect.DeepEqual(plain, watched) {
 		return fmt.Sprintf("%s: checked run diverged: plain %+v, checked %+v", m, plain, watched)
 	}
@@ -260,6 +379,7 @@ func propRerun(s ScenarioSpec, opt FuzzOptions) string {
 // IDs leaves the delivery outcome within tolerance (exact equality cannot
 // hold — simultaneous visits are processed in node-ID order).
 func propRelabel(s ScenarioSpec, opt FuzzOptions) string {
+	s = s.noDisrupt() // node-keyed perturbations are not relabel-invariant
 	m := s.method()
 	tr := s.Trace()
 	rl := tr.Clone()
@@ -286,6 +406,7 @@ func propRelabel(s ScenarioSpec, opt FuzzOptions) string {
 // genuinely crowd out deliverable traffic, so TTL monotonicity is only a
 // law of the congestion-free regime.
 func propTTLMonotone(s ScenarioSpec, opt FuzzOptions) string {
+	s = s.noDisrupt() // churn flushes and crowds break the monotone law
 	s.NodeMemKB = 64
 	s.StationMemKB = 0
 	loose := s
@@ -299,6 +420,7 @@ func propTTLMonotone(s ScenarioSpec, opt FuzzOptions) string {
 // propBufferMonotone asserts doubling the node memory does not lose
 // deliveries beyond tolerance.
 func propBufferMonotone(s ScenarioSpec, opt FuzzOptions) string {
+	s = s.noDisrupt() // churn flushes and crowds break the monotone law
 	loose := s
 	loose.NodeMemKB = clampInt(s.NodeMemKB*2, 1, 64)
 	if loose.NodeMemKB == s.NodeMemKB {
@@ -419,5 +541,19 @@ func shrinkCandidates(s ScenarioSpec) []ScenarioSpec {
 	mutate(func(c *ScenarioSpec) { c.CycleLen-- })
 	mutate(func(c *ScenarioSpec) { c.MissPct = 0 })
 	mutate(func(c *ScenarioSpec) { c.FollowPct = 90 })
+	// Disruption knobs: first drop whole families (localizing which
+	// perturbation matters), then shrink the surviving one.
+	mutate(func(c *ScenarioSpec) { c.OutageLMs = 0 })
+	mutate(func(c *ScenarioSpec) { c.ChurnNodes = 0 })
+	mutate(func(c *ScenarioSpec) { c.LinkSeverPct = 0 })
+	mutate(func(c *ScenarioSpec) { c.DriftShift = 0 })
+	mutate(func(c *ScenarioSpec) { c.CrowdRate = 0 })
+	mutate(func(c *ScenarioSpec) { c.OutageLMs /= 2 })
+	mutate(func(c *ScenarioSpec) { c.OutageHours /= 2 })
+	mutate(func(c *ScenarioSpec) { c.ChurnNodes /= 2 })
+	mutate(func(c *ScenarioSpec) { c.ChurnHours /= 2 })
+	mutate(func(c *ScenarioSpec) { c.DriftShift /= 2 })
+	mutate(func(c *ScenarioSpec) { c.LinkSeverPct /= 2 })
+	mutate(func(c *ScenarioSpec) { c.CrowdRate /= 2 })
 	return out
 }

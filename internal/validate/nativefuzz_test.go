@@ -38,3 +38,47 @@ func FuzzScenarioInvariants(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDisruptedInvariants fuzzes the disruption layer: arbitrary
+// parameters become a normalized disrupted scenario (outages, churn,
+// drift, link faults, flash crowds in any combination) and one full
+// simulation runs under the invariant checker with the disruption-aware
+// rules armed. The seed corpus covers every disruption family alone and
+// the all-at-once storm. Separate from FuzzScenarioInvariants so the
+// steady-state target's accumulated corpus stays valid.
+func FuzzDisruptedInvariants(f *testing.F) {
+	//          seed      nodes    lms      days     outLM    outH      churnN   churnH    drift    sever     crowd
+	f.Add(int64(1), uint8(10), uint8(5), uint8(3), uint8(2), uint8(12), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(2), uint8(12), uint8(4), uint8(2), uint8(0), uint8(1), uint8(4), uint8(18), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(3), uint8(8), uint8(6), uint8(3), uint8(0), uint8(1), uint8(3), uint8(0), uint8(2), uint8(0), uint8(0))
+	f.Add(int64(4), uint8(10), uint8(5), uint8(2), uint8(0), uint8(1), uint8(0), uint8(0), uint8(0), uint8(100), uint8(0))
+	f.Add(int64(5), uint8(9), uint8(4), uint8(2), uint8(0), uint8(1), uint8(0), uint8(0), uint8(0), uint8(0), uint8(200))
+	f.Add(int64(6), uint8(12), uint8(6), uint8(4), uint8(2), uint8(24), uint8(5), uint8(12), uint8(1), uint8(50), uint8(150))
+	f.Fuzz(func(t *testing.T, seed int64, nodes, landmarks, days, outLM, outH, churnN, churnH, drift, sever, crowd uint8) {
+		spec := ScenarioSpec{
+			Seed:         seed,
+			Nodes:        int(nodes) % 13,
+			Landmarks:    int(landmarks) % 9,
+			Days:         int(days) % 4,
+			CycleLen:     3,
+			TTLHours:     24,
+			NodeMemKB:    8,
+			RatePerDay:   40,
+			LinkRate:     1,
+			FollowPct:    85,
+			OutageLMs:    int(outLM) % 4,
+			OutageHours:  int(outH),
+			ChurnNodes:   int(churnN) % 9,
+			ChurnHours:   int(churnH) % 49,
+			DriftShift:   int(drift) % 5,
+			LinkSeverPct: int(sever) % 101,
+			CrowdRate:    int(crowd),
+		}.Normalize()
+		ck := NewChecker()
+		ck.SetDisruption(spec.Disruption())
+		spec.Run(spec.method(), ck, telemetry.NewProbe(telemetry.NewRecorder(1<<10)))
+		if err := ck.Err(); err != nil {
+			t.Fatalf("%v\nspec: %v", err, spec)
+		}
+	})
+}

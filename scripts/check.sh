@@ -3,9 +3,11 @@
 # packages that share state across goroutines (the parallel experiment
 # sweep, the engine it drives, and the fleet coordinator/worker pair),
 # the validation battery — invariant checker, checker-neutrality, fork
-# equivalence and the O1-O4 paper-fidelity checks at tiny scale — and
-# the fleet smoke (2-worker sweep byte-compared against in-process plus
-# the 100%-cache-hit re-run).
+# equivalence, the O1-O4 paper-fidelity checks at tiny scale, and the
+# disrupted-scenario section (outage / churn / storm presets, every
+# method checker-clean and classic == sharded) — and the fleet smoke
+# (2-worker sweep byte-compared against in-process plus the
+# 100%-cache-hit re-run).
 set -eu
 cd "$(dirname "$0")/.."
 

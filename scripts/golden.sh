@@ -6,12 +6,13 @@
 #
 # The corpus (internal/experiment/testdata/golden/*.json) pins fixed-seed
 # metrics.Summary fingerprints for every routing method on both Tiny
-# scenarios. TestGoldenRuns compares against it exactly, on the classic
-# and the sharded engine; run this script only when a numeric change is
-# intended, and review the corpus diff like code.
+# scenarios — steady-state and storm-disrupted. TestGoldenRuns and
+# TestDisruptedGoldenRuns compare against it exactly, on the classic,
+# sharded, and parallel-apply engines; run this script only when a
+# numeric change is intended, and review the corpus diff like code.
 set -eu
 cd "$(dirname "$0")/.."
 
-go test ./internal/experiment/ -run TestGoldenRuns -update-golden
-go test ./internal/experiment/ -run TestGoldenRuns
+go test ./internal/experiment/ -run 'TestGoldenRuns|TestDisruptedGoldenRuns' -update-golden
+go test ./internal/experiment/ -run 'TestGoldenRuns|TestDisruptedGoldenRuns'
 git --no-pager diff --stat -- internal/experiment/testdata/golden || true
