@@ -113,6 +113,24 @@ func BenchmarkSimulateTelemetryOff(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateTracesOff pins the decision-trace overhead contract
+// from the other side: after the forwarding paths gained decision hooks
+// (core.emitDecision, baselines' chosen-hop traces), the probe-nil run
+// must stay bit-identical in allocs/op to BENCH_8's
+// BenchmarkSimulateTelemetryOff — every hook is behind Probe.Enabled()
+// and the disabled path is branch-only.
+func BenchmarkSimulateTracesOff(b *testing.B) {
+	sc := experiment.DARTScenario(experiment.Tiny)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiment.NewRouter("DTN-FLOW")
+		cfg := sc.Config(1)
+		cfg.Probe = nil
+		sim.New(sc.Trace, r, sc.Workload(sc.RateDef), cfg).Run()
+	}
+}
+
 // BenchmarkSimulateTelemetryOn measures the cost of full event recording
 // on the same simulation (ring preallocated once per iteration, outside
 // the measured hot loop's allocations).
@@ -319,6 +337,29 @@ func benchScaleParallel(b *testing.B, mult int) {
 
 func BenchmarkScaleDART1xParallel(b *testing.B)  { benchScaleParallel(b, 1) }
 func BenchmarkScaleDART32xParallel(b *testing.B) { benchScaleParallel(b, 32) }
+
+// benchOracle measures the offline oracle at population scale: one
+// materialized scaled-DART trace through contact-graph build plus the
+// parallel relaxed solve of the engine-identical packet schedule. Run at
+// -benchtime 1x like the rest of the scale tier; the headline figures
+// are the solve's packet count and the bound it produces.
+func benchOracle(b *testing.B, mult int) {
+	b.Helper()
+	spec := experiment.ScaleSpec{Scenario: "DART", Mult: mult}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := spec.OracleScale(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sum.Packets), "packets")
+		b.ReportMetric(sum.UpperBound, "upper-bound")
+	}
+}
+
+func BenchmarkOracle1x(b *testing.B)  { benchOracle(b, 1) }
+func BenchmarkOracle32x(b *testing.B) { benchOracle(b, 32) }
 
 // BenchmarkScaleDART1xClassic is the materialized reference the scale
 // tier's memory acceptance compares against: the same 1× population on

@@ -13,12 +13,19 @@
 //	dtnflow-inspect -in run.jsonl -packet 1234    # one packet's path and fate
 //	dtnflow-inspect -in run.jsonl -top 20         # widen the congested-link list
 //	dtnflow-inspect -in run.jsonl -resilience     # per-disruption impact report
+//	dtnflow-inspect -in run.jsonl -regret         # oracle join: per-packet and per-decision regret
 //
 // -resilience reads the disruption timeline a disrupted run records in
 // its meta header (dtnflow-sim -disrupt ... -telemetry ...) and prints,
 // for every disruption event, the routing-table re-convergence (table
 // recomputes, settle time, total drift) and the before/after packet
 // outcomes in a window around the event (-window sets its length).
+//
+// -regret rebuilds the run's trace from the meta header (re-applying its
+// recorded -disrupt argument), solves the offline contact-graph oracle
+// for every recorded packet, and reports how far each delivery lagged
+// the provable optimum plus a per-landmark decision-quality table; see
+// DESIGN.md's "Oracle architecture" section.
 package main
 
 import (
@@ -42,6 +49,8 @@ func main() {
 		topK   = flag.Int("top", 10, "number of congested transit links to list")
 		resil  = flag.Bool("resilience", false, "print the per-disruption resilience report")
 		window = flag.Duration("window", 0, "resilience comparison window (0 = the run's time unit)")
+		regret = flag.Bool("regret", false, "join the recording against the contact-graph oracle")
+		trArg  = flag.String("trace", "", "trace override for -regret (defaults to the recording's scenario)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -70,6 +79,8 @@ func main() {
 		printLoads(log)
 	case *resil:
 		printResilience(log, trace.Time((*window).Seconds()))
+	case *regret:
+		printRegret(log, *trArg, *topK)
 	default:
 		printSummary(log, *topK)
 	}

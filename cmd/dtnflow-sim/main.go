@@ -145,15 +145,21 @@ func main() {
 
 	if rec != nil {
 		if err := writeRecording(rec, *telPath, telemetry.Meta{
-			Scenario:    *traceArg,
-			Method:      s.Method,
-			Seed:        *seed,
-			Nodes:       tr.NumNodes,
-			Landmarks:   tr.NumLandmarks,
-			Unit:        cfg.Unit,
-			TTL:         cfg.TTL,
-			Warmup:      cfg.Warmup,
-			Disruptions: dsp.Events(),
+			Scenario:            *traceArg,
+			Method:              s.Method,
+			Seed:                *seed,
+			Nodes:               tr.NumNodes,
+			Landmarks:           tr.NumLandmarks,
+			Unit:                cfg.Unit,
+			TTL:                 cfg.TTL,
+			Warmup:              cfg.Warmup,
+			PacketSize:          cfg.PacketSize,
+			NodeMemory:          cfg.NodeMemory,
+			StationMemory:       cfg.StationMemory,
+			LinkRate:            cfg.LinkRate,
+			MaxContactTransfers: cfg.MaxContactTransfers,
+			DisruptArg:          *disruptArg,
+			Disruptions:         dsp.Events(),
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -206,8 +206,12 @@ func (b *Base) stationHandoff(ctx *sim.Context, lm int, c *sim.Contact) {
 		}
 		if ctx.Download(cc, st, best, p) {
 			// Score-based methods route toward the destination itself;
-			// record the hand-off against the lm -> dst flow.
+			// record the hand-off against the lm -> dst flow. The decision
+			// trace carries the same target (baselines have no landmark
+			// alternatives — the candidate set is carriers, not next
+			// hops), with the winning carrier's score as the estimate.
 			ctx.Probe.Assigned(now, p.ID, lm, p.Dst)
+			ctx.Probe.Decision(now, p.ID, lm, p.Dst, 0, bestS)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // This file implements the packet forwarding algorithm of Section IV-D:
@@ -268,6 +269,9 @@ func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 			continue
 		}
 		ctx.Probe.Assigned(now, cd.p.ID, lm, cd.target)
+		if ctx.Probe.Enabled() {
+			r.emitDecision(ctx, lm, now, cd, targets)
+		}
 		cd.p.NextHop = cd.target
 		cd.p.ExpDelay = cd.exp
 		ls.lbSent[cd.target]++
@@ -278,6 +282,48 @@ func (r *Router) forwardPass(ctx *sim.Context, lm int, c *sim.Contact) int {
 		}
 	}
 	return sent
+}
+
+// emitDecision records the committed forwarding decision as a ranked
+// telemetry trace: the chosen next hop (rank 0, with the router's own
+// expected-delay estimate) plus up to two reachable alternatives ranked
+// by their estimated delay through that hop (link delay to the hop plus
+// the hop's advertised delay to the destination). Only called when the
+// probe is enabled, so the estimate arithmetic never runs on the
+// disabled path. dtnflow-inspect -regret joins these against the
+// offline oracle.
+func (r *Router) emitDecision(ctx *sim.Context, lm int, now trace.Time, cd cand, targets []int) {
+	ctx.Probe.Decision(now, cd.p.ID, lm, cd.target, 0, cd.exp)
+	ls := r.landmarks[lm]
+	// Best two alternatives among the other reachable targets this pass.
+	a1, a2 := -1, -1
+	var e1, e2 float64
+	for _, t := range targets {
+		if t == cd.target {
+			continue
+		}
+		est := ls.table.LinkDelay(t)
+		if t != cd.p.Dst {
+			d := r.landmarks[t].table.Delay(cd.p.Dst)
+			if d >= routing.Infinite {
+				continue
+			}
+			est += d
+		}
+		switch {
+		case a1 < 0 || est < e1:
+			a2, e2 = a1, e1
+			a1, e1 = t, est
+		case a2 < 0 || est < e2:
+			a2, e2 = t, est
+		}
+	}
+	if a1 >= 0 {
+		ctx.Probe.Decision(now, cd.p.ID, lm, a1, 1, e1)
+	}
+	if a2 >= 0 {
+		ctx.Probe.Decision(now, cd.p.ID, lm, a2, 2, e2)
+	}
 }
 
 // elig is one upload-eligible packet with its feasibility (recorded

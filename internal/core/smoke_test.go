@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -30,4 +31,41 @@ func TestSmokeEndToEnd(t *testing.T) {
 	if res.Summary.SuccessRate < 0.3 {
 		t.Fatalf("success rate %.2f too low for a small dense trace", res.Summary.SuccessRate)
 	}
+}
+
+// TestDecisionTraceEmitted re-runs the smoke scenario with a telemetry
+// probe attached and checks the forwarding choice points emit ranked
+// EvDecision rows: every relayed packet has a rank-0 (chosen) row, and
+// alternatives carry higher ranks with distinct candidate landmarks.
+func TestDecisionTraceEmitted(t *testing.T) {
+	tr := synth.Small(synth.DefaultSmall())
+	cfg := sim.DefaultConfig(tr.Duration())
+	cfg.TTL = 2 * trace.Day
+	cfg.Unit = 12 * trace.Hour
+	rec := telemetry.NewRecorder(1 << 16)
+	cfg.Probe = telemetry.NewProbe(rec)
+	w := sim.NewWorkload(200, cfg.PacketSize, cfg.TTL)
+	sim.New(tr, New(DefaultConfig()), w, cfg).Run()
+
+	chosen, alts := 0, 0
+	for _, ev := range rec.Events(nil) {
+		if ev.Kind != telemetry.EvDecision {
+			continue
+		}
+		if ev.Aux == 0 {
+			chosen++
+		} else {
+			alts++
+			if ev.B == ev.A {
+				t.Fatalf("alternative candidate is the deciding landmark itself: %+v", ev)
+			}
+		}
+	}
+	if chosen == 0 {
+		t.Fatal("no rank-0 decision events recorded")
+	}
+	if alts == 0 {
+		t.Fatal("no ranked alternatives recorded")
+	}
+	t.Logf("decisions: %d chosen, %d alternatives", chosen, alts)
 }

@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"repro/internal/disrupt"
+	"repro/internal/oracle"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file threads the offline oracle (internal/oracle) into the
+// experiment layer: OracleFor reproduces the exact packet list an
+// engine run would generate — same seed, same warmup window, same
+// workload RNG draw order — and solves it over the scenario's contact
+// graph, so sweeps and reports can print the oracle's upper bound as a
+// seventh column beside the six methods.
+
+// OracleSummary is the oracle's answer for one (scenario, seed, rate)
+// cell: the relaxed upper bound (what no method can beat) and the
+// committed schedule (a feasible plan under the engine's capacities).
+type OracleSummary struct {
+	Scenario string  `json:"scenario"`
+	Seed     int64   `json:"seed"`
+	Rate     float64 `json:"rate"`
+	Disrupt  string  `json:"disrupt,omitempty"`
+
+	Packets     int     `json:"packets"`
+	Deliverable int     `json:"deliverable"`
+	UpperBound  float64 `json:"upper_bound"` // Deliverable / Packets
+	// MeanDelay is the relaxed bound's mean delivery delay in seconds
+	// over deliverable packets.
+	MeanDelay float64 `json:"mean_delay"`
+
+	CommittedDelivered int     `json:"committed_delivered"`
+	CommittedRate      float64 `json:"committed_rate"`
+}
+
+// OraclePackets reproduces the packet list an engine run on this
+// scenario would generate: the workload schedule is the engine RNG's
+// first draw (sim.New seeds the heap, then schedules), so seeding a
+// fresh RNG with cfg.Seed and calling Schedule over the measurement
+// window yields the identical slab.
+func (sc *Scenario) OraclePackets(cfg sim.Config, w *sim.Workload, tr *trace.Trace) []oracle.Packet {
+	start, end := tr.Span()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pkts := w.Schedule(rng, start+cfg.Warmup, end, tr.NumLandmarks)
+	return oracle.FromSim(pkts)
+}
+
+// OracleFor solves the oracle for one (seed, rate) cell of this
+// scenario. rate <= 0 uses the scenario default; workers <= 0 uses
+// GOMAXPROCS.
+func (sc *Scenario) OracleFor(seed int64, rate float64, workers int) (*oracle.Result, OracleSummary) {
+	return sc.oracleRun(seed, rate, workers, "", nil)
+}
+
+// OracleDisrupted solves the oracle for a disrupted run: the same
+// perturbation pipeline the engines use (perturbed trace, disruption-
+// adjusted config and workload) feeds the graph build and the packet
+// schedule, so the answer bounds the methods on the trace they actually
+// saw.
+func (sc *Scenario) OracleDisrupted(seed int64, rate float64, workers int, preset string) (*oracle.Result, OracleSummary, error) {
+	sp, err := disrupt.Preset(preset, sc.Trace.NumNodes, sc.Trace.NumLandmarks, 0, sc.Trace.Duration())
+	if err != nil {
+		return nil, OracleSummary{}, err
+	}
+	tr, err := disrupt.Perturb(sc.Trace, &sp)
+	if err != nil {
+		return nil, OracleSummary{}, err
+	}
+	res, sum := sc.oracleRunOn(tr, seed, rate, workers, preset, &sp)
+	return res, sum, nil
+}
+
+// OracleScale solves the oracle's relaxed bound over a scaled scenario:
+// the scale tier's streaming generator is materialized once, the
+// engine-identical packet schedule is drawn, and the bound is solved
+// with the given worker count (<= 0 means GOMAXPROCS). The committed
+// pass is skipped — at 32× populations the relaxed ceiling is the
+// yardstick of interest and the greedy commit would dominate the
+// wall-clock without changing it.
+func (sp ScaleSpec) OracleScale(workers int) (OracleSummary, error) {
+	open, err := sp.Open()
+	if err != nil {
+		return OracleSummary{}, err
+	}
+	cfg, err := sp.Config()
+	if err != nil {
+		return OracleSummary{}, err
+	}
+	w, err := sp.Workload()
+	if err != nil {
+		return OracleSummary{}, err
+	}
+	tr, err := trace.Materialize(open())
+	if err != nil {
+		return OracleSummary{}, err
+	}
+	start, end := tr.Span()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pkts := oracle.FromSim(w.Schedule(rng, start+cfg.Warmup, end, tr.NumLandmarks))
+	ocfg := oracle.ConfigFrom(cfg)
+	ocfg.Workers = workers
+	ocfg.SkipCommitted = true
+	res := oracle.SolveTrace(tr, ocfg, pkts)
+	sum := OracleSummary{
+		Scenario:    sp.Scenario,
+		Seed:        cfg.Seed,
+		Rate:        sp.rate(),
+		Packets:     len(res.Packets),
+		Deliverable: res.Deliverable,
+		MeanDelay:   res.MeanDelay,
+	}
+	if sum.Packets > 0 {
+		sum.UpperBound = float64(sum.Deliverable) / float64(sum.Packets)
+	}
+	return sum, nil
+}
+
+// oraclePoint is the seed-averaged oracle answer at one sweep x-value:
+// the relaxed success-rate ceiling and its mean delay.
+type oraclePoint struct {
+	Upper float64
+	Delay float64 // seconds
+}
+
+// oracleSweep computes the oracle column for a parameter sweep: one
+// relaxed-bound solve per (x, seed) cell, averaged across seeds per x.
+// The contact graph is built once and shared — sweep tweaks (memory,
+// rate) change packet gates and schedules, never the contact structure —
+// and the per-cell solves run on the same bounded pool the method
+// sweeps use. build mirrors the Sweep contract: it returns the cell's
+// rate (<= 0 for the scenario default) and config tweak.
+func (sc *Scenario) oracleSweep(opt Options, xs []float64, build func(x float64, seed int64) (float64, func(*sim.Config))) []oraclePoint {
+	seeds := opt.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	g := oracle.Build(sc.Trace, oracle.ConfigFrom(sc.Config(1)), opt.Workers)
+	cells := make([]oraclePoint, len(xs)*seeds)
+	parallelFor(len(cells), opt.Workers, func(i int) {
+		x, seed := xs[i/seeds], int64(i%seeds)+1
+		rate, tweak := build(x, seed)
+		if rate <= 0 {
+			rate = sc.RateDef
+		}
+		cfg := sc.Config(seed)
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		pkts := sc.OraclePackets(cfg, sc.Workload(rate), sc.Trace)
+		ocfg := oracle.ConfigFrom(cfg)
+		ocfg.Workers = 1 // the pool already parallelises across cells
+		ocfg.SkipCommitted = true
+		res := oracle.Solve(g, ocfg, pkts)
+		if len(pkts) > 0 {
+			cells[i] = oraclePoint{
+				Upper: float64(res.Deliverable) / float64(len(pkts)),
+				Delay: res.MeanDelay,
+			}
+		}
+	})
+	out := make([]oraclePoint, len(xs))
+	for xi := range xs {
+		for s := 0; s < seeds; s++ {
+			out[xi].Upper += cells[xi*seeds+s].Upper
+			out[xi].Delay += cells[xi*seeds+s].Delay
+		}
+		out[xi].Upper /= float64(seeds)
+		out[xi].Delay /= float64(seeds)
+	}
+	return out
+}
+
+func (sc *Scenario) oracleRun(seed int64, rate float64, workers int, label string, sp *disrupt.Spec) (*oracle.Result, OracleSummary) {
+	return sc.oracleRunOn(sc.Trace, seed, rate, workers, label, sp)
+}
+
+func (sc *Scenario) oracleRunOn(tr *trace.Trace, seed int64, rate float64, workers int, label string, sp *disrupt.Spec) (*oracle.Result, OracleSummary) {
+	if rate <= 0 {
+		rate = sc.RateDef
+	}
+	cfg := sc.Config(seed)
+	w := sc.Workload(rate)
+	sp.Apply(&cfg, w)
+	pkts := sc.OraclePackets(cfg, w, tr)
+	ocfg := oracle.ConfigFrom(cfg)
+	ocfg.Workers = workers
+	res := oracle.SolveTrace(tr, ocfg, pkts)
+	sum := OracleSummary{
+		Scenario:           sc.Name,
+		Seed:               seed,
+		Rate:               rate,
+		Disrupt:            label,
+		Packets:            len(res.Packets),
+		Deliverable:        res.Deliverable,
+		MeanDelay:          res.MeanDelay,
+		CommittedDelivered: res.CommittedDelivered,
+	}
+	if sum.Packets > 0 {
+		sum.UpperBound = float64(sum.Deliverable) / float64(sum.Packets)
+		sum.CommittedRate = float64(sum.CommittedDelivered) / float64(sum.Packets)
+	}
+	return res, sum
+}

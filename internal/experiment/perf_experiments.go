@@ -57,24 +57,41 @@ func packetRates(opt Options) []float64 {
 	return out
 }
 
-// sweepReport renders one sweep as the figure's four sub-plots.
-func sweepReport(id, title, paper, xname string, methods []string, points []SweepPoint) *Report {
+// sweepReport renders one sweep as the figure's four sub-plots. A
+// non-nil oracle column (aligned with points) appends the offline
+// contact-graph oracle: the relaxed success ceiling on plot (a), its
+// mean delay on plot (b), and "-" on the cost plots (the bound does not
+// model forwarding cost).
+func sweepReport(id, title, paper, xname string, methods []string, points []SweepPoint, orc []oraclePoint) *Report {
 	rep := &Report{ID: id, Title: title, Paper: paper}
 	type metricDef struct {
 		heading string
 		cell    func(a Averaged) string
+		oracle  func(o oraclePoint) string
 	}
 	for _, md := range []metricDef{
-		{"(a) success rate", func(a Averaged) string { return ci(a.Success, a.SuccessCI, f3) }},
-		{"(b) average delay", func(a Averaged) string { return ci(a.Delay, a.DelayCI, fd) }},
-		{"(c) forwarding cost", func(a Averaged) string { return fint(a.Forwarding) }},
-		{"(d) total cost", func(a Averaged) string { return fint(a.TotalCost) }},
+		{"(a) success rate", func(a Averaged) string { return ci(a.Success, a.SuccessCI, f3) },
+			func(o oraclePoint) string { return f3(o.Upper) }},
+		{"(b) average delay", func(a Averaged) string { return ci(a.Delay, a.DelayCI, fd) },
+			func(o oraclePoint) string { return fd(o.Delay) }},
+		{"(c) forwarding cost", func(a Averaged) string { return fint(a.Forwarding) }, nil},
+		{"(d) total cost", func(a Averaged) string { return fint(a.TotalCost) }, nil},
 	} {
 		sec := Section{Heading: md.heading, Columns: append([]string{xname}, methods...)}
-		for _, p := range points {
+		if orc != nil {
+			sec.Columns = append(sec.Columns, "ORACLE")
+		}
+		for pi, p := range points {
 			row := []string{fint(p.X)}
 			for _, a := range p.Results {
 				row = append(row, md.cell(a))
+			}
+			if orc != nil {
+				if md.oracle != nil {
+					row = append(row, md.oracle(orc[pi]))
+				} else {
+					row = append(row, "-")
+				}
 			}
 			sec.AddRow(row...)
 		}
@@ -84,7 +101,8 @@ func sweepReport(id, title, paper, xname string, methods []string, points []Swee
 }
 
 func runMemorySweep(opt Options, sc *Scenario, id, paper string) *Report {
-	points := Sweep(MethodNames, memorySizes(opt), opt, func(m string, kb float64, seed int64) Run {
+	xs := memorySizes(opt)
+	points := Sweep(MethodNames, xs, opt, func(m string, kb float64, seed int64) Run {
 		return Run{
 			Scenario: sc,
 			Router:   func() sim.Router { return NewRouter(m) },
@@ -92,14 +110,19 @@ func runMemorySweep(opt Options, sc *Scenario, id, paper string) *Report {
 			Tweak:    func(c *sim.Config) { c.NodeMemory = sc.Memory(kb) },
 		}
 	})
-	rep := sweepReport(id, "Performance with different memory sizes ("+sc.Name+")", paper, "memory(kB)", MethodNames, points)
+	orc := sc.oracleSweep(opt, xs, func(kb float64, seed int64) (float64, func(*sim.Config)) {
+		return 0, func(c *sim.Config) { c.NodeMemory = sc.Memory(kb) }
+	})
+	rep := sweepReport(id, "Performance with different memory sizes ("+sc.Name+")", paper, "memory(kB)", MethodNames, points, orc)
 	rep.Sections[0].Notes = append(rep.Sections[0].Notes,
-		"paper shape: DTN-FLOW highest success and lowest delay; success grows with memory; PGR lowest success")
+		"paper shape: DTN-FLOW highest success and lowest delay; success grows with memory; PGR lowest success",
+		"ORACLE: offline contact-graph relaxed bound — no method can exceed it (see DESIGN.md)")
 	return rep
 }
 
 func runRateSweep(opt Options, sc *Scenario, id, paper string) *Report {
-	points := Sweep(MethodNames, packetRates(opt), opt, func(m string, rate float64, seed int64) Run {
+	xs := packetRates(opt)
+	points := Sweep(MethodNames, xs, opt, func(m string, rate float64, seed int64) Run {
 		return Run{
 			Scenario: sc,
 			Router:   func() sim.Router { return NewRouter(m) },
@@ -107,9 +130,13 @@ func runRateSweep(opt Options, sc *Scenario, id, paper string) *Report {
 			Seed:     seed,
 		}
 	})
-	rep := sweepReport(id, "Performance with different packet rates ("+sc.Name+")", paper, "rate(pkt/day)", MethodNames, points)
+	orc := sc.oracleSweep(opt, xs, func(rate float64, seed int64) (float64, func(*sim.Config)) {
+		return rate, nil
+	})
+	rep := sweepReport(id, "Performance with different packet rates ("+sc.Name+")", paper, "rate(pkt/day)", MethodNames, points, orc)
 	rep.Sections[0].Notes = append(rep.Sections[0].Notes,
-		"paper shape: success decreases and delay increases as the packet rate grows; DTN-FLOW stays best")
+		"paper shape: success decreases and delay increases as the packet rate grows; DTN-FLOW stays best",
+		"ORACLE: offline contact-graph relaxed bound — no method can exceed it (see DESIGN.md)")
 	return rep
 }
 

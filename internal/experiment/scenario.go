@@ -98,15 +98,21 @@ func (sc *Scenario) Workload(rate float64) *sim.Workload {
 // Meta describes a run on this scenario for a telemetry recording
 // header (cmd/dtnflow-inspect labels its output from it).
 func (sc *Scenario) Meta(method string, seed int64) telemetry.Meta {
+	cfg := sc.Config(seed)
 	return telemetry.Meta{
-		Scenario:  sc.Name,
-		Method:    method,
-		Seed:      seed,
-		Nodes:     sc.Trace.NumNodes,
-		Landmarks: sc.Trace.NumLandmarks,
-		Unit:      sc.Unit,
-		TTL:       sc.TTL,
-		Warmup:    sc.Trace.Duration() / 4,
+		Scenario:            sc.Name,
+		Method:              method,
+		Seed:                seed,
+		Nodes:               sc.Trace.NumNodes,
+		Landmarks:           sc.Trace.NumLandmarks,
+		Unit:                sc.Unit,
+		TTL:                 sc.TTL,
+		Warmup:              cfg.Warmup,
+		PacketSize:          cfg.PacketSize,
+		NodeMemory:          cfg.NodeMemory,
+		StationMemory:       cfg.StationMemory,
+		LinkRate:            cfg.LinkRate,
+		MaxContactTransfers: cfg.MaxContactTransfers,
 	}
 }
 

@@ -1,0 +1,463 @@
+// Package oracle is the offline optimal router: an independent, second
+// implementation of the simulator's physics that answers, for every
+// packet, "what is the best any store-and-forward method could have
+// done on this trace?". It is both the yardstick every report can cite
+// (an upper bound beside the six methods) and a standing differential
+// test — validate's oracle-dominance property checks every engine run
+// against it.
+//
+// The oracle works on the time-expanded contact graph: each transit a
+// node makes between consecutive visits to different landmarks is one
+// contact edge (pickup any time up to the departure visit's end, arrival
+// at the next visit's start), and holding a packet at a landmark station
+// between two edges is an implicit wait edge. Two answers are computed
+// per packet (see Solve):
+//
+//   - The relaxed earliest-arrival bound: a per-packet label-setting
+//     search with capacities ignored. This is a true upper bound on every
+//     method — any sequence of engine transfers that delivers a packet
+//     maps, visit by visit, onto a chain of contact edges the search
+//     also considers (see DESIGN.md "Oracle architecture" for the
+//     induction) — so dominance against it is a theorem, not a
+//     heuristic, and regret measured against it is never negative.
+//   - The capacity-respecting committed schedule: packets routed in
+//     generation order, each consuming residual per-visit transfer
+//     budget (the engine's contactBudget formula) and station storage,
+//     so the committed delivery count is a feasible schedule, not a
+//     bound.
+//
+// The graph build is parallel over nodes and deterministic: equal
+// traces produce bit-identical graphs for every worker count
+// (Fingerprint pins this in tests).
+package oracle
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Config mirrors the engine physics the oracle enforces. ConfigFrom
+// derives one from a sim.Config; the zero value means "no constraint"
+// for every field except LinkRate (0 still yields the engine's minimum
+// budget of one transfer per visit).
+type Config struct {
+	// PacketSize and NodeMemory gate deliverability: a packet larger
+	// than every node buffer can never be carried (NodeMemory <= 0 =
+	// unlimited).
+	NodeMemory int64
+	// StationMemory bounds the wait edges in the committed schedule and
+	// gates generation (a packet that cannot enter its source station is
+	// undeliverable); <= 0 = unlimited, the paper's setting.
+	StationMemory int64
+	// LinkRate (packets/second) and MaxContactTransfers derive each
+	// visit's transfer budget exactly as the engine does:
+	// max(1, LinkRate*duration), capped when MaxContactTransfers > 0.
+	LinkRate            float64
+	MaxContactTransfers int
+	// Workers bounds the parallel graph build; <= 0 = GOMAXPROCS.
+	Workers int
+	// SkipCommitted computes only the relaxed bound (regret joins and
+	// dominance checks need nothing else and skip the expensive part).
+	SkipCommitted bool
+}
+
+// edgeGroup holds every contact edge from one landmark to one other
+// landmark, columnar and sorted by departure time: depart[i] is the last
+// pickup instant (the departure visit's end), arrive[i] the arrival
+// instant (the arrival visit's start). minArr[i] is the minimum of
+// arrive[i:], so the best reachable arrival from any label t is found
+// with one binary search. depVis/arrVis identify the two visits whose
+// transfer budgets the committed schedule charges.
+type edgeGroup struct {
+	to     int
+	depart []trace.Time
+	arrive []trace.Time
+	minArr []trace.Time
+	depVis []int32
+	arrVis []int32
+}
+
+// Graph is the time-expanded contact graph of one trace.
+type Graph struct {
+	L   int           // number of landmarks
+	adj [][]edgeGroup // adj[from], groups sorted by to
+	// budget[v] is the transfer budget of visit v (global visit index in
+	// node-major, time-ascending order), the engine's contactBudget.
+	budget []int32
+	edges  int
+}
+
+// NumEdges returns the number of contact edges (transits) in the graph.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// rawEdge is one transit during the build, before grouping.
+type rawEdge struct {
+	from, to       int32
+	depart, arrive trace.Time
+	depVis, arrVis int32
+}
+
+// Build constructs the contact graph from a trace. The build is
+// parallel over nodes (workers <= 0 = GOMAXPROCS) and deterministic:
+// every worker count yields a bit-identical graph, because each node's
+// edges land in a preassigned slot and the final per-pair ordering is a
+// strict total order (depart, arrive, departure-visit id — visit ids
+// are globally unique, so ties cannot reorder).
+func Build(tr *trace.Trace, cfg Config, workers int) *Graph {
+	byNode := tr.VisitsByNode()
+
+	// Global visit ids: node-major, time-ascending — independent of
+	// worker count. offsets[n] is node n's first id.
+	offsets := make([]int32, len(byNode)+1)
+	for n, vs := range byNode {
+		offsets[n+1] = offsets[n] + int32(len(vs))
+	}
+	g := &Graph{L: tr.NumLandmarks}
+	g.budget = make([]int32, offsets[len(byNode)])
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(byNode) {
+		workers = len(byNode)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Each worker fills its nodes' budget entries and collects its
+	// nodes' transits locally; perNode[n] keeps the merge order fixed.
+	perNode := make([][]rawEdge, len(byNode))
+	var wg sync.WaitGroup
+	next := make(chan int, len(byNode))
+	for n := range byNode {
+		next <- n
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range next {
+				vs := byNode[n]
+				base := offsets[n]
+				for i, v := range vs {
+					g.budget[base+int32(i)] = int32(visitBudget(v, cfg))
+				}
+				var out []rawEdge
+				for i := 1; i < len(vs); i++ {
+					// Consecutive same-landmark visits produce no edge
+					// (the node never left; a packet at the landmark
+					// waits on its station either way).
+					prev, cur := vs[i-1], vs[i]
+					if prev.Landmark == cur.Landmark {
+						continue
+					}
+					out = append(out, rawEdge{
+						from:   int32(prev.Landmark),
+						to:     int32(cur.Landmark),
+						depart: prev.End,
+						arrive: cur.Start,
+						depVis: base + int32(i-1),
+						arrVis: base + int32(i),
+					})
+				}
+				perNode[n] = out
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic merge: concatenate in node order, bucket by source
+	// landmark, sort each pair's edges by (to, depart, arrive, depVis).
+	byFrom := make([][]rawEdge, g.L)
+	for _, es := range perNode {
+		for _, e := range es {
+			byFrom[e.from] = append(byFrom[e.from], e)
+			g.edges++
+		}
+	}
+	g.adj = make([][]edgeGroup, g.L)
+	for from, es := range byFrom {
+		if len(es) == 0 {
+			continue
+		}
+		sort.Slice(es, func(i, j int) bool {
+			a, b := es[i], es[j]
+			if a.to != b.to {
+				return a.to < b.to
+			}
+			if a.depart != b.depart {
+				return a.depart < b.depart
+			}
+			if a.arrive != b.arrive {
+				return a.arrive < b.arrive
+			}
+			return a.depVis < b.depVis
+		})
+		var groups []edgeGroup
+		for i := 0; i < len(es); {
+			j := i
+			for j < len(es) && es[j].to == es[i].to {
+				j++
+			}
+			grp := edgeGroup{
+				to:     int(es[i].to),
+				depart: make([]trace.Time, 0, j-i),
+				arrive: make([]trace.Time, 0, j-i),
+				depVis: make([]int32, 0, j-i),
+				arrVis: make([]int32, 0, j-i),
+			}
+			for _, e := range es[i:j] {
+				grp.depart = append(grp.depart, e.depart)
+				grp.arrive = append(grp.arrive, e.arrive)
+				grp.depVis = append(grp.depVis, e.depVis)
+				grp.arrVis = append(grp.arrVis, e.arrVis)
+			}
+			grp.minArr = make([]trace.Time, j-i)
+			min := maxTime
+			for k := j - i - 1; k >= 0; k-- {
+				if grp.arrive[k] < min {
+					min = grp.arrive[k]
+				}
+				grp.minArr[k] = min
+			}
+			groups = append(groups, grp)
+			i = j
+		}
+		g.adj[from] = groups
+	}
+	return g
+}
+
+// visitBudget is the engine's contactBudget formula: the number of
+// transfers a visit of this duration allows.
+func visitBudget(v trace.Visit, cfg Config) int {
+	b := int(cfg.LinkRate * float64(v.End-v.Start))
+	if b < 1 {
+		b = 1
+	}
+	if cfg.MaxContactTransfers > 0 && b > cfg.MaxContactTransfers {
+		b = cfg.MaxContactTransfers
+	}
+	return b
+}
+
+// maxTime is past every trace timestamp.
+const maxTime = trace.Time(1) << 62
+
+// Fingerprint hashes the graph's full structure (adjacency, edge times,
+// visit ids, budgets). Two builds of the same trace must produce equal
+// fingerprints regardless of worker count — the determinism tests pin
+// this.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	w64(uint64(g.L))
+	for _, b := range g.budget {
+		w64(uint64(b))
+	}
+	for from, groups := range g.adj {
+		w64(uint64(from))
+		for _, grp := range groups {
+			w64(uint64(grp.to))
+			for i := range grp.depart {
+				w64(uint64(grp.depart[i]))
+				w64(uint64(grp.arrive[i]))
+				w64(uint64(grp.depVis[i]))
+				w64(uint64(grp.arrVis[i]))
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// searcher runs earliest-arrival label-setting searches over one graph,
+// reusing its label arrays across packets via epoch stamps. One searcher
+// serves one goroutine.
+type searcher struct {
+	g      *Graph
+	dist   []trace.Time
+	stamp  []uint32
+	epoch  uint32
+	parent []int32 // previous landmark on the best path; -1 at the source
+	pdep   []int32 // departure-visit id of the edge into this landmark
+	parr   []int32 // arrival-visit id of the edge into this landmark
+	heap   []heapItem
+
+	// Committed-mode residual budgets; nil in relaxed searches.
+	residual []int32
+}
+
+type heapItem struct {
+	t  trace.Time
+	lm int32
+}
+
+func newSearcher(g *Graph) *searcher {
+	return &searcher{
+		g:      g,
+		dist:   make([]trace.Time, g.L),
+		stamp:  make([]uint32, g.L),
+		parent: make([]int32, g.L),
+		pdep:   make([]int32, g.L),
+		parr:   make([]int32, g.L),
+	}
+}
+
+func (s *searcher) reset() {
+	s.epoch++
+	s.heap = s.heap[:0]
+}
+
+func (s *searcher) label(lm int) (trace.Time, bool) {
+	if s.stamp[lm] != s.epoch {
+		return maxTime, false
+	}
+	return s.dist[lm], true
+}
+
+func (s *searcher) relax(lm int32, t trace.Time, from int32, dep, arr int32) {
+	if s.stamp[lm] == s.epoch && s.dist[lm] <= t {
+		return
+	}
+	s.stamp[lm] = s.epoch
+	s.dist[lm] = t
+	s.parent[lm] = from
+	s.pdep[lm] = dep
+	s.parr[lm] = arr
+	s.pushHeap(heapItem{t: t, lm: lm})
+}
+
+func (s *searcher) pushHeap(it heapItem) {
+	s.heap = append(s.heap, it)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(s.heap[i], s.heap[p]) {
+			break
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
+	}
+}
+
+func (s *searcher) popHeap() heapItem {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(s.heap) && heapLess(s.heap[l], s.heap[m]) {
+			m = l
+		}
+		if r < len(s.heap) && heapLess(s.heap[r], s.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return top
+		}
+		s.heap[i], s.heap[m] = s.heap[m], s.heap[i]
+		i = m
+	}
+}
+
+// heapLess orders by label time, ties by landmark id so the pop order
+// (and therefore the parent tree on equal labels) is deterministic.
+func heapLess(a, b heapItem) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.lm < b.lm
+}
+
+// run performs the earliest-arrival search from (src, t0) and returns
+// dst's earliest arrival, or (0, false) when no arrival strictly before
+// deadline exists. With s.residual set, only edges whose departure and
+// arrival visits both have residual transfer budget qualify (the
+// committed mode); relaxed searches use the suffix-min shortcut.
+func (s *searcher) run(src int, t0 trace.Time, dst int, deadline trace.Time) (trace.Time, bool) {
+	s.reset()
+	s.stamp[src] = s.epoch
+	s.dist[src] = t0
+	s.parent[src] = -1
+	s.pdep[src] = -1
+	s.parr[src] = -1
+	s.pushHeap(heapItem{t: t0, lm: int32(src)})
+	for len(s.heap) > 0 {
+		it := s.popHeap()
+		if s.dist[it.lm] != it.t || s.stamp[it.lm] != s.epoch {
+			continue // stale entry
+		}
+		if int(it.lm) == dst {
+			return it.t, true
+		}
+		for gi := range s.g.adj[it.lm] {
+			grp := &s.g.adj[it.lm][gi]
+			// First edge still boardable from label it.t: depart >= t.
+			i := sort.Search(len(grp.depart), func(k int) bool { return grp.depart[k] >= it.t })
+			if i == len(grp.depart) {
+				continue
+			}
+			if s.residual == nil {
+				if a := grp.minArr[i]; a < deadline {
+					s.relax(int32(grp.to), a, it.lm, -1, -1)
+				}
+				continue
+			}
+			// Committed mode: the minimum arrival among edges with
+			// residual budget on both endpoint visits. minArr lower-bounds
+			// the remaining suffix, so the scan stops as soon as no
+			// better arrival can follow.
+			best := maxTime
+			bi := -1
+			for k := i; k < len(grp.depart); k++ {
+				if best <= grp.minArr[k] {
+					break
+				}
+				if grp.arrive[k] >= best || grp.arrive[k] >= deadline {
+					continue
+				}
+				if s.residual[grp.depVis[k]] < 1 || s.residual[grp.arrVis[k]] < 1 {
+					continue
+				}
+				best = grp.arrive[k]
+				bi = k
+			}
+			if bi >= 0 {
+				s.relax(int32(grp.to), best, it.lm, grp.depVis[bi], grp.arrVis[bi])
+			}
+		}
+	}
+	return 0, false
+}
+
+// path reconstructs the landmark path src..dst of the last run (dst must
+// have been labelled), appended to dst's slice.
+func (s *searcher) path(dst int, out []int) []int {
+	n := 0
+	for lm := int32(dst); lm >= 0; lm = s.parent[lm] {
+		n++
+	}
+	base := len(out)
+	out = append(out, make([]int, n)...)
+	lm := int32(dst)
+	for i := n - 1; i >= 0; i-- {
+		out[base+i] = int(lm)
+		lm = s.parent[lm]
+	}
+	return out
+}

@@ -24,6 +24,19 @@ type Meta struct {
 	Unit      trace.Time `json:"unit"`
 	TTL       trace.Time `json:"ttl"`
 	Warmup    trace.Time `json:"warmup"`
+	// Physics: the engine-config fields the oracle needs to reproduce
+	// the run offline (dtnflow-inspect -regret). All omitempty, so
+	// recordings from before these fields read back fine; the regret
+	// join falls back to the paper defaults when they are zero.
+	PacketSize          int64   `json:"packet_size,omitempty"`
+	NodeMemory          int64   `json:"node_memory,omitempty"`
+	StationMemory       int64   `json:"station_memory,omitempty"`
+	LinkRate            float64 `json:"link_rate,omitempty"`
+	MaxContactTransfers int     `json:"max_contact_transfers,omitempty"`
+	// DisruptArg is the -disrupt argument the run was perturbed with
+	// (preset name or spec-file path), so replays can re-derive the
+	// perturbed trace the engine actually saw.
+	DisruptArg string `json:"disrupt_arg,omitempty"`
 	// Disruptions is the run's disruption timeline (empty for a
 	// steady-state run); internal/disrupt compiles it from the scenario's
 	// spec. Replay analyses segment the recording around these events —
@@ -57,6 +70,23 @@ func (r *Recorder) WriteJSONL(w io.Writer, meta Meta) error {
 		return err
 	}
 	for _, ev := range r.Events(nil) {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes a loaded (or snapshotted) log back out in the same
+// format Recorder.WriteJSONL produces, so analyses can be re-run from a
+// re-exported recording bit for bit.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Meta: &l.Meta}); err != nil {
+		return err
+	}
+	for _, ev := range l.Events {
 		if err := enc.Encode(ev); err != nil {
 			return err
 		}

@@ -33,12 +33,14 @@ const (
 	EvRecompute                   // routing table materially changed
 	EvPredict                     // predictor outcome resolved (hit/miss)
 	EvQueueDepth                  // per-landmark queue sample at a unit boundary
+	EvDecision                    // forwarding decision: chosen next hop or ranked alternative
 	numEventKinds
 )
 
 var kindNames = [numEventKinds]string{
 	"generated", "forwarded", "queued", "delivered", "dropped",
 	"assigned", "exchange", "recompute", "predict", "queuedepth",
+	"decision",
 }
 
 // String returns the event kind's wire name.
@@ -85,6 +87,10 @@ func (h HopKind) String() string {
 //	predict:    A=node, B=predicted landmark, Aux=actual landmark,
 //	            V=1 on a hit, 0 on a miss
 //	queuedepth: A=landmark, Aux=queue length
+//	decision:   A=landmark, B=candidate next-hop landmark, Aux=rank
+//	            (0=chosen, 1..k-1=considered alternatives), V=the
+//	            router's estimate for the candidate (expected delay for
+//	            DTN-FLOW, utility score for baselines)
 type Event struct {
 	T    trace.Time `json:"t"`
 	Kind EventKind  `json:"k"`
@@ -205,6 +211,20 @@ func (p *Probe) Predict(t trace.Time, n, predicted, actual int, hit bool) {
 	}
 	p.rec.predictTotal++
 	p.rec.add(Event{T: t, Kind: EvPredict, Pkt: -1, A: int32(n), B: int32(predicted), Aux: int32(actual), V: v})
+}
+
+// Decision records one ranked candidate of a forwarding decision for
+// pkt at landmark lm: rank 0 is the next hop the router chose, higher
+// ranks are the alternatives it considered, and est is the router's own
+// estimate for the candidate (expected delay for DTN-FLOW, utility
+// score for baselines). dtnflow-inspect -regret joins these against the
+// oracle's per-state optimum. Callers gate the alternative-ranking work
+// behind Probe.Enabled() so the disabled path stays branch-only.
+func (p *Probe) Decision(t trace.Time, pkt, lm, target, rank int, est float64) {
+	if p == nil {
+		return
+	}
+	p.rec.add(Event{T: t, Kind: EvDecision, Pkt: int32(pkt), A: int32(lm), B: int32(target), Aux: int32(rank), V: est})
 }
 
 // QueueDepth records landmark lm's station queue length at a measurement

@@ -151,6 +151,13 @@ func RunBattery(opt BatteryOptions) *Report {
 			rep.Items = append(rep.Items, forkEquivalence(sc, m, rate, opt.Seeds))
 		}
 
+		// Oracle dominance: the offline optimal router's relaxed bound
+		// must dominate every method on the steady-state scenario — a
+		// differential test of the engine physics against a second,
+		// independent implementation (internal/oracle).
+		opt.Log("  %s: oracle-dominance", sc.Name)
+		rep.Items = append(rep.Items, oracleDominanceItem(sc, sc.Trace, nil, rate, opt.Methods))
+
 		// Disrupted scenarios: every method stays invariant-clean and
 		// engine-equivalent under three disruption presets — a pure
 		// outage, pure churn, and the all-families storm.
@@ -169,6 +176,13 @@ func RunBattery(opt BatteryOptions) *Report {
 				name := fmt.Sprintf("%s/%s: disrupted[%s]", sc.Name, m, preset)
 				opt.Log("  %s", name)
 				rep.Items = append(rep.Items, disruptedRun(name, sc, tr, &sp, m, rate))
+			}
+			if preset == "storm" {
+				// The oracle's bound must also dominate on the harshest
+				// perturbation — the oracle solves the same perturbed
+				// trace the methods ran on.
+				opt.Log("  %s: oracle-dominance [storm]", sc.Name)
+				rep.Items = append(rep.Items, oracleDominanceItem(sc, tr, &sp, rate, opt.Methods))
 			}
 		}
 	}

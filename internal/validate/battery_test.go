@@ -27,8 +27,9 @@ func TestBatteryTiny(t *testing.T) {
 	rep.Print(&buf)
 	t.Logf("\n%s", buf.String())
 	// Per scenario: 4 observation checks, then per method the 3 core
-	// items (invariants, neutrality, fork) plus the 3 disrupted presets.
-	if want := (len(experiment.MethodNames)*(3+3) + 4) * 2; len(rep.Items) != want {
+	// items (invariants, neutrality, fork) plus the 3 disrupted presets,
+	// plus the steady and storm oracle-dominance items.
+	if want := (len(experiment.MethodNames)*(3+3) + 4 + 2) * 2; len(rep.Items) != want {
 		t.Errorf("battery ran %d items, want %d", len(rep.Items), want)
 	}
 	if !strings.Contains(buf.String(), "checks passed") {

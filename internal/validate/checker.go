@@ -35,7 +35,8 @@ type pktState struct {
 	size       int64
 	created    trace.Time
 	expiry     trace.Time
-	scanEpoch  uint32 // stamp of the last full-state scan that found it
+	finished   trace.Time // delivery time (valid when status == stDelivered)
+	scanEpoch  uint32     // stamp of the last full-state scan that found it
 }
 
 // Checker is the concrete sim.Checker: it shadows every packet's lifecycle
@@ -259,6 +260,7 @@ func (c *Checker) Delivered(now trace.Time, p *sim.Packet, at int) {
 		c.vs.add(now, "delivered-wrong-landmark", "%v delivered at landmark %d", p, at)
 	}
 	s.status = stDelivered
+	s.finished = now
 	c.delivered++
 }
 

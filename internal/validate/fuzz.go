@@ -324,6 +324,7 @@ type property struct {
 // still trip them.
 var properties = []property{
 	{"invariants", propInvariants},
+	{"oracle-dominance", propOracleDominance},
 	{"checker-neutral", propCheckerNeutral},
 	{"rerun-deterministic", propRerun},
 	{"relabel-invariant", propRelabel},

@@ -1,0 +1,126 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/disrupt"
+	"repro/internal/experiment"
+	"repro/internal/oracle"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Oracle dominance: internal/oracle's relaxed earliest-arrival bound is
+// a theorem over the engine's physics — no method can deliver a packet
+// the oracle calls undeliverable, and no method can deliver one earlier
+// than the oracle's earliest arrival. Because the oracle is a second,
+// independent implementation of the contact physics (time-expanded
+// graph search vs discrete-event simulation), checking every engine run
+// against it is a differential test: a violation means one of the two
+// implementations got the physics wrong, and either way it's a bug.
+//
+// The comparison is per-packet and exact, taken from the invariant
+// checker's shadow records (not the telemetry ring, which may wrap):
+// the checker knows each packet's terminal status and delivery time.
+
+// oraclePackets reproduces the exact packet list the engine generates
+// for this spec on the given (already perturbed) trace: the workload
+// schedule is the engine RNG's first draw, so a fresh RNG with the
+// spec's seed yields the identical slab, surges included.
+func (s ScenarioSpec) oraclePackets(tr *trace.Trace) ([]oracle.Packet, sim.Config) {
+	cfg := s.Config(tr.Duration())
+	w := sim.NewWorkload(float64(s.RatePerDay), cfg.PacketSize, cfg.TTL)
+	s.Disruption().Apply(&cfg, w)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start, end := tr.Span()
+	pkts := w.Schedule(rng, start+cfg.Warmup, end, tr.NumLandmarks)
+	return oracle.FromSim(pkts), cfg
+}
+
+// propOracleDominance checks the relaxed bound against every method on
+// the spec's (possibly disrupted) scenario: per delivered packet, the
+// oracle must call it deliverable with an earliest arrival no later
+// than the achieved delivery time.
+func propOracleDominance(s ScenarioSpec, opt FuzzOptions) string {
+	tr := s.perturbedTrace()
+	pkts, cfg := s.oraclePackets(tr)
+	ocfg := oracle.ConfigFrom(cfg)
+	ocfg.SkipCommitted = true
+	res := oracle.SolveTrace(tr, ocfg, pkts)
+	for _, m := range experiment.MethodNames {
+		ck := NewChecker()
+		ck.SetDisruption(s.Disruption())
+		s.runOn(tr, m, ck, nil)
+		if d := dominanceViolation(m, res, ck); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+// dominanceViolation compares one checked run against the oracle's
+// relaxed bound, returning "" when the bound dominates the method.
+func dominanceViolation(method string, res *oracle.Result, ck *Checker) string {
+	delivered := 0
+	for id, st := range ck.packets {
+		if st.status != stDelivered {
+			continue
+		}
+		or, ok := res.Find(id)
+		if !ok {
+			continue // node-destined: outside the oracle's landmark model
+		}
+		delivered++
+		if or.Fate != oracle.FateDelivered {
+			return fmt.Sprintf("%s: packet %d (L%d->L%d) delivered at t=%d but the oracle calls it %v — the relaxed bound is falsified",
+				method, id, or.Src, or.Dst, st.finished, or.Fate)
+		}
+		if or.EAT > st.finished {
+			return fmt.Sprintf("%s: packet %d (L%d->L%d) delivered at t=%d, before the oracle's earliest arrival t=%d",
+				method, id, or.Src, or.Dst, st.finished, or.EAT)
+		}
+	}
+	// Implied by the per-packet checks, kept as an independent count-level
+	// cross-check (it is the form the paper-facing reports quote).
+	if delivered > res.Deliverable {
+		return fmt.Sprintf("%s: delivered %d packets, oracle upper bound is %d", method, delivered, res.Deliverable)
+	}
+	return ""
+}
+
+// oracleDominanceItem is the battery form: the oracle's bound must
+// dominate every method on one scenario (sp == nil for steady state,
+// else the perturbed trace and disruption-adjusted config/workload).
+func oracleDominanceItem(sc *experiment.Scenario, tr *trace.Trace, sp *disrupt.Spec, rate float64, methods []string) Item {
+	name := sc.Name + ": oracle-dominance"
+	if sp != nil {
+		name += " (disrupted)"
+	}
+	cfg := sc.Config(1)
+	w := sc.Workload(rate)
+	sp.Apply(&cfg, w)
+	pkts := sc.OraclePackets(cfg, w, tr)
+	ocfg := oracle.ConfigFrom(cfg)
+	ocfg.SkipCommitted = true
+	res := oracle.SolveTrace(tr, ocfg, pkts)
+	worst := 0
+	for _, m := range methods {
+		ck := NewChecker()
+		ck.SetDisruption(sp)
+		runCfg := sc.Config(1)
+		runW := sc.Workload(rate)
+		sp.Apply(&runCfg, runW)
+		runCfg.Check = ck
+		sim.New(tr, experiment.NewRouter(m), runW, runCfg).Run()
+		if d := dominanceViolation(m, res, ck); d != "" {
+			return Item{Name: name, Detail: d}
+		}
+		if n := ck.delivered; n > worst {
+			worst = n
+		}
+	}
+	return Item{Name: name, Pass: true,
+		Detail: fmt.Sprintf("oracle bound %d/%d deliverable >= best method %d, per-packet delays dominated",
+			res.Deliverable, len(pkts), worst)}
+}
